@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction benchmarks.
+ *
+ * Every bench binary regenerates one figure of the paper's evaluation
+ * (Section 5): it runs the workload through the logical-thread
+ * executor, reports *simulated* time to google-benchmark via manual
+ * timing, and appends artifact-style rows to figN.csv (the original
+ * artifact's `run_all.sh` emits the same `system,structure,threads,
+ * run,valsize,throughput` rows).
+ *
+ * Scale knobs (environment):
+ *   CNVM_OPS        total operations per configuration (default varies)
+ *   CNVM_MAXTHREADS cap for the thread sweep (default 24)
+ */
+#ifndef CNVM_BENCH_COMMON_H
+#define CNVM_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/pm_allocator.h"
+#include "nvm/pool.h"
+#include "runtimes/factory.h"
+#include "sim/executor.h"
+#include "stats/counters.h"
+#include "txn/engine.h"
+
+namespace cnvm::bench {
+
+/** Pool + heap + runtime bundle for one benchmark configuration. */
+class Env {
+ public:
+    explicit Env(txn::RuntimeKind kind,
+                 rt::ClobberPolicy policy = rt::ClobberPolicy::refined,
+                 size_t poolBytes = 512ULL << 20)
+    {
+        nvm::PoolConfig cfg;
+        cfg.size = poolBytes;
+        cfg.maxThreads = 32;
+        cfg.slotBytes = 256ULL << 10;
+        pool = nvm::Pool::create(cfg);
+        nvm::Pool::setCurrent(pool.get());
+        heap = std::make_unique<alloc::PmAllocator>(*pool);
+        runtime = rt::makeRuntime(kind, *pool, *heap, policy);
+    }
+
+    ~Env()
+    {
+        if (nvm::Pool::current() == pool.get())
+            nvm::Pool::setCurrent(nullptr);
+    }
+
+    txn::Engine engine() { return txn::Engine(*runtime); }
+
+    std::unique_ptr<nvm::Pool> pool;
+    std::unique_ptr<alloc::PmAllocator> heap;
+    std::unique_ptr<txn::Runtime> runtime;
+};
+
+inline size_t
+envSize(const char* name, size_t dflt)
+{
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::strtoull(v, nullptr, 10) : dflt;
+}
+
+/** Total operations per configuration. */
+inline size_t
+totalOps(size_t dflt)
+{
+    return envSize("CNVM_OPS", dflt);
+}
+
+/** Thread counts for scaling sweeps (paper: 1 to 24). */
+inline std::vector<unsigned>
+threadSweep()
+{
+    auto cap = static_cast<unsigned>(envSize("CNVM_MAXTHREADS", 24));
+    std::vector<unsigned> out;
+    for (unsigned t : {1u, 2u, 4u, 8u, 16u, 24u}) {
+        if (t <= cap)
+            out.push_back(t);
+    }
+    return out;
+}
+
+/** Appends artifact-style rows to a figN.csv next to the binary. */
+class Csv {
+ public:
+    explicit Csv(const std::string& path)
+    {
+        f_ = std::fopen(path.c_str(), "w");
+    }
+
+    ~Csv()
+    {
+        if (f_ != nullptr)
+            std::fclose(f_);
+    }
+
+    void
+    comment(const std::string& text)
+    {
+        if (f_ != nullptr)
+            std::fprintf(f_, "# %s\n", text.c_str());
+    }
+
+    template <typename... Args>
+    void
+    row(const char* fmt, Args... args)
+    {
+        if (f_ != nullptr) {
+            std::fprintf(f_, fmt, args...);
+            std::fprintf(f_, "\n");
+            std::fflush(f_);
+        }
+    }
+
+ private:
+    std::FILE* f_ = nullptr;
+};
+
+/** The systems compared in the throughput figures, in plot order. */
+inline std::vector<txn::RuntimeKind>
+figureSystems()
+{
+    return {txn::RuntimeKind::clobber, txn::RuntimeKind::undo,
+            txn::RuntimeKind::redo, txn::RuntimeKind::atlas};
+}
+
+inline const char*
+systemName(txn::RuntimeKind kind)
+{
+    switch (kind) {
+      case txn::RuntimeKind::noLog: return "nolog";
+      case txn::RuntimeKind::undo: return "pmdk";
+      case txn::RuntimeKind::redo: return "mnemosyne";
+      case txn::RuntimeKind::clobber: return "clobber";
+      case txn::RuntimeKind::atlas: return "atlas";
+      case txn::RuntimeKind::ido: return "ido";
+    }
+    return "?";
+}
+
+}  // namespace cnvm::bench
+
+#endif  // CNVM_BENCH_COMMON_H

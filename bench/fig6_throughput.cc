@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 6: YCSB-Load insert throughput of the four persistent data
+ * structures under Clobber-NVM, PMDK, Mnemosyne and Atlas, scaled from
+ * 1 to 24 threads.
+ *
+ * Paper setup: 1M key-value pairs, 8-byte keys (32-byte for B+Tree),
+ * 256-byte values. The thread sweep runs on the logical-thread
+ * executor (see src/sim): reported seconds are simulated time.
+ *
+ * Expected shape: Clobber-NVM leads everywhere single-threaded
+ * (≈1.8x PMDK, ≈4.3x Atlas); B+Tree scales best (per-node locks);
+ * Mnemosyne catches up at high thread counts on the global-lock
+ * structures (rbtree, skiplist).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "structures/kv.h"
+#include "workloads/ycsb.h"
+
+namespace {
+
+using namespace cnvm;
+
+bench::Csv& csv()
+{
+    static bench::Csv c("fig6.csv");
+    static bool once = [] {
+        c.comment("fig6: system,structure,threads,run,valsize,"
+                  "throughput_ops_per_sec");
+        return true;
+    }();
+    (void)once;
+    return c;
+}
+
+void
+runFig6(benchmark::State& state, const std::string& structure,
+        txn::RuntimeKind kind)
+{
+    auto threads = static_cast<unsigned>(state.range(0));
+    size_t ops = bench::totalOps(40000);
+    size_t keyLen = structure == "bptree" ? 32 : 8;
+    constexpr size_t kValLen = 256;
+
+    for (auto _ : state) {
+        bench::Env env(kind);
+        auto eng = env.engine();
+        auto kv = ds::makeKv(structure, eng);
+        wl::Ycsb ycsb(wl::YcsbKind::load, ops, keyLen, kValLen);
+
+        sim::Executor exec(threads);
+        size_t perThread = ops / threads;
+        double simSeconds = exec.run(
+            perThread, [&](sim::ThreadCtx& ctx, size_t i) {
+                uint64_t id = ctx.tid() * perThread + i;
+                kv->insert(ycsb.keyOf(id), ycsb.valueOf(id));
+            });
+        state.SetIterationTime(simSeconds);
+        double tput = static_cast<double>(perThread * threads) /
+                      simSeconds;
+        state.counters["ops_per_sec"] = tput;
+        csv().row("%s,%s,%u,0,%zu,%.0f", bench::systemName(kind),
+                  structure.c_str(), threads, kValLen, tput);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * ops));
+}
+
+void
+registerAll()
+{
+    for (const auto& structure : ds::benchmarkStructures()) {
+        for (auto kind : bench::figureSystems()) {
+            std::string name = std::string("fig6/") +
+                               bench::systemName(kind) + "/" +
+                               structure;
+            auto* b = benchmark::RegisterBenchmark(
+                name.c_str(),
+                [structure, kind](benchmark::State& st) {
+                    runFig6(st, structure, kind);
+                });
+            b->UseManualTime()->Iterations(1)->Unit(
+                benchmark::kMillisecond);
+            for (unsigned t : bench::threadSweep())
+                b->Arg(t);
+        }
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

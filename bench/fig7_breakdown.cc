@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Figure 7 (and the Section 5.3 headline ratios): logging-strategy
+ * breakdown on single-threaded YCSB-Load inserts.
+ *
+ * Configurations, as in the paper:
+ *   No-log                — no logging at all (baseline)
+ *   Clobber-NVM-vlog      — only the v_log enabled
+ *   Clobber-NVM-clobberlog— only the clobber_log enabled
+ *   Clobber-NVM-full      — both logs (the real system)
+ *   PMDK                  — full undo logging
+ *
+ * For each configuration it reports simulated throughput plus log
+ * entries and log bytes per transaction; the footer prints the
+ * paper's headline ratios (PMDK vs Clobber log bytes / fences).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "runtimes/clobber.h"
+#include "structures/kv.h"
+#include "workloads/ycsb.h"
+
+namespace {
+
+using namespace cnvm;
+using stats::Counter;
+
+struct Config {
+    const char* name;
+    txn::RuntimeKind kind;
+    bool vlog;
+    bool clobberLog;
+};
+
+const Config kConfigs[] = {
+    {"nolog", txn::RuntimeKind::noLog, false, false},
+    {"clobber-vlog", txn::RuntimeKind::clobber, true, false},
+    {"clobber-clobberlog", txn::RuntimeKind::clobber, false, true},
+    {"clobber-full", txn::RuntimeKind::clobber, true, true},
+    {"pmdk", txn::RuntimeKind::undo, false, false},
+};
+
+bench::Csv& csv()
+{
+    static bench::Csv c("fig7.csv");
+    static bool once = [] {
+        c.comment("fig7: config,structure,throughput_ops_per_sec,"
+                  "log_entries_per_tx,log_bytes_per_tx,fences_per_tx");
+        return true;
+    }();
+    (void)once;
+    return c;
+}
+
+struct Measured {
+    double tput;
+    double entriesPerTx;
+    double bytesPerTx;
+    double fencesPerTx;
+};
+
+Measured
+measure(const Config& cfg, const std::string& structure, size_t ops)
+{
+    bench::Env env(cfg.kind);
+    if (cfg.kind == txn::RuntimeKind::clobber) {
+        auto* cl = dynamic_cast<rt::ClobberRuntime*>(env.runtime.get());
+        cl->setVlogEnabled(cfg.vlog);
+        cl->setClobberLogEnabled(cfg.clobberLog);
+    }
+    auto eng = env.engine();
+    auto kv = ds::makeKv(structure, eng);
+    size_t keyLen = structure == "bptree" ? 32 : 8;
+    wl::Ycsb ycsb(wl::YcsbKind::load, ops, keyLen, 256);
+
+    stats::resetAll();
+    auto before = stats::aggregate();
+    sim::Executor exec(1);
+    double simSeconds =
+        exec.run(ops, [&](sim::ThreadCtx&, size_t i) {
+            kv->insert(ycsb.keyOf(i), ycsb.valueOf(i));
+        });
+    auto d = stats::aggregate() - before;
+
+    double n = static_cast<double>(ops);
+    double entries = 0;
+    double bytes = 0;
+    if (cfg.kind == txn::RuntimeKind::undo) {
+        entries = static_cast<double>(d[Counter::undoEntries]);
+        bytes = static_cast<double>(d[Counter::undoBytes]);
+    } else {
+        entries = static_cast<double>(d[Counter::clobberEntries] +
+                                      d[Counter::vlogEntries]);
+        bytes = static_cast<double>(d[Counter::clobberBytes] +
+                                    d[Counter::vlogBytes]);
+    }
+    return Measured{n / simSeconds, entries / n, bytes / n,
+                    static_cast<double>(d[Counter::fences]) / n};
+}
+
+void
+runFig7(benchmark::State& state, const Config& cfg,
+        const std::string& structure)
+{
+    size_t ops = bench::totalOps(30000);
+    for (auto _ : state) {
+        Measured m = measure(cfg, structure, ops);
+        state.SetIterationTime(static_cast<double>(ops) / m.tput);
+        state.counters["ops_per_sec"] = m.tput;
+        state.counters["entries_per_tx"] = m.entriesPerTx;
+        state.counters["bytes_per_tx"] = m.bytesPerTx;
+        state.counters["fences_per_tx"] = m.fencesPerTx;
+        csv().row("%s,%s,%.0f,%.3f,%.1f,%.3f", cfg.name,
+                  structure.c_str(), m.tput, m.entriesPerTx,
+                  m.bytesPerTx, m.fencesPerTx);
+    }
+}
+
+/** Section 5.3 headline ratios, printed after the sweep. */
+void
+printHeadline()
+{
+    size_t ops = bench::totalOps(30000) / 2;
+    std::printf("\n=== Section 5.3 headline ratios "
+                "(PMDK undo vs Clobber-NVM) ===\n");
+    for (const auto& structure : ds::benchmarkStructures()) {
+        Measured pmdk = measure(kConfigs[4], structure, ops);
+        Measured clob = measure(kConfigs[3], structure, ops);
+        std::printf("%-10s bytes %.1fx  entries %.1fx  fences %.1fx\n",
+                    structure.c_str(),
+                    pmdk.bytesPerTx / clob.bytesPerTx,
+                    pmdk.entriesPerTx / clob.entriesPerTx,
+                    pmdk.fencesPerTx / clob.fencesPerTx);
+    }
+}
+
+void
+registerAll()
+{
+    for (const auto& structure : ds::benchmarkStructures()) {
+        for (const auto& cfg : kConfigs) {
+            std::string name = std::string("fig7/") + cfg.name + "/" +
+                               structure;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [structure, &cfg](benchmark::State& st) {
+                    runFig7(st, cfg, structure);
+                })
+                ->UseManualTime()
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printHeadline();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,272 @@
+#include "alloc/pm_allocator.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/counters.h"
+
+namespace cnvm::alloc {
+
+namespace {
+
+uint64_t
+alignUp(uint64_t v, uint64_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+}  // namespace
+
+PmAllocator::PmAllocator(nvm::Pool& pool) : pool_(pool)
+{
+    auto* h = static_cast<AllocHeader*>(pool_.at(pool_.heapOff()));
+    if (h->magic != kMagic) {
+        // Format a fresh heap region. Bitmap sized so that
+        // bitmapBytes * 8 granules cover the remaining data area.
+        uint64_t heapOff = pool_.heapOff();
+        uint64_t heapBytes = pool_.heapSize();
+        uint64_t headerEnd = alignUp(heapOff + sizeof(AllocHeader), 64);
+        uint64_t avail = heapBytes - (headerEnd - heapOff);
+        // Each bitmap byte administers 8 granules = 128 data bytes.
+        uint64_t bitmapBytes = alignUp(avail / 129 + 1, 64);
+        uint64_t dataOff = alignUp(headerEnd + bitmapBytes, kGranule);
+        CNVM_CHECK(dataOff < heapOff + heapBytes,
+                   "heap too small to format");
+        uint64_t dataBytes =
+            (heapOff + heapBytes - dataOff) / kGranule * kGranule;
+        CNVM_CHECK(dataBytes / kGranule <= bitmapBytes * 8,
+                   "bitmap sizing bug");
+
+        AllocHeader newHdr{};
+        newHdr.magic = kMagic;
+        newHdr.bitmapOff = headerEnd;
+        newHdr.bitmapBytes = bitmapBytes;
+        newHdr.dataOff = dataOff;
+        newHdr.dataBytes = dataBytes;
+        // Zero the bitmap first (a re-created pool file is already
+        // zero, but a recycled region may not be).
+        std::vector<uint8_t> zeros(4096, 0);
+        for (uint64_t off = headerEnd; off < headerEnd + bitmapBytes;
+             off += zeros.size()) {
+            uint64_t n = std::min<uint64_t>(zeros.size(),
+                                            headerEnd + bitmapBytes - off);
+            pool_.writeAt(off, zeros.data(), n);
+        }
+        pool_.writeAt(heapOff, &newHdr, sizeof(newHdr));
+        pool_.flush(pool_.at(headerEnd), bitmapBytes);
+        pool_.persist(h, sizeof(*h));
+    }
+    rebuild();
+}
+
+const AllocHeader&
+PmAllocator::hdr() const
+{
+    return *static_cast<const AllocHeader*>(pool_.at(pool_.heapOff()));
+}
+
+uint64_t
+PmAllocator::blockGranules(uint64_t payloadOff) const
+{
+    uint64_t total = sizeof(BlockHeader) + payloadSize(payloadOff);
+    return alignUp(total, kGranule) / kGranule;
+}
+
+size_t
+PmAllocator::payloadSize(uint64_t payloadOff) const
+{
+    const auto* bh = static_cast<const BlockHeader*>(
+        pool_.at(blockOff(payloadOff)));
+    CNVM_CHECK((bh->payloadBytes ^ kBlockMagic) == bh->check,
+               "corrupt block header");
+    return bh->payloadBytes;
+}
+
+void
+PmAllocator::insertFreeExtentLocked(uint64_t off, uint64_t len)
+{
+    // Coalesce with the predecessor / successor extents.
+    auto next = free_.lower_bound(off);
+    if (next != free_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == off) {
+            off = prev->first;
+            len += prev->second;
+            auto range = bySize_.equal_range(prev->second);
+            for (auto it = range.first; it != range.second; ++it) {
+                if (it->second == prev->first) {
+                    bySize_.erase(it);
+                    break;
+                }
+            }
+            free_.erase(prev);
+        }
+    }
+    if (next != free_.end() && off + len == next->first) {
+        len += next->second;
+        auto range = bySize_.equal_range(next->second);
+        for (auto it = range.first; it != range.second; ++it) {
+            if (it->second == next->first) {
+                bySize_.erase(it);
+                break;
+            }
+        }
+        free_.erase(next);
+    }
+    free_[off] = len;
+    bySize_.emplace(len, off);
+}
+
+uint64_t
+PmAllocator::reserveLocked(uint64_t need)
+{
+    auto it = bySize_.lower_bound(need);
+    if (it == bySize_.end())
+        return 0;
+    uint64_t off = it->second;
+    uint64_t len = it->first;
+    bySize_.erase(it);
+    free_.erase(off);
+    if (len > need)
+        insertFreeExtentLocked(off + need, len - need);
+    return off;
+}
+
+uint64_t
+PmAllocator::reserve(size_t payload)
+{
+    uint64_t need =
+        alignUp(sizeof(BlockHeader) + payload, kGranule);
+    uint64_t off;
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        off = reserveLocked(need);
+    }
+    if (off == 0)
+        fatal("persistent heap exhausted");
+    BlockHeader bh{payload, payload ^ kBlockMagic};
+    pool_.writeAt(off, &bh, sizeof(bh));
+    stats::bump(stats::Counter::allocs);
+    return off + sizeof(BlockHeader);
+}
+
+void
+PmAllocator::releaseReservation(uint64_t payloadOff)
+{
+    uint64_t off = blockOff(payloadOff);
+    uint64_t len = blockGranules(payloadOff) * kGranule;
+    std::lock_guard<std::mutex> g(mu_);
+    insertFreeExtentLocked(off, len);
+}
+
+void
+PmAllocator::setBits(uint64_t bOff, uint64_t granules, bool value,
+                     bool flushBits)
+{
+    const AllocHeader& h = hdr();
+    uint64_t firstGranule = (bOff - h.dataOff) / kGranule;
+    uint64_t firstByte = h.bitmapOff + firstGranule / 8;
+    uint64_t lastByte = h.bitmapOff + (firstGranule + granules - 1) / 8;
+    // Read-modify-write whole bytes under the allocator lock.
+    std::vector<uint8_t> buf(lastByte - firstByte + 1);
+    std::memcpy(buf.data(), pool_.at(firstByte), buf.size());
+    for (uint64_t g = 0; g < granules; g++) {
+        uint64_t bit = firstGranule + g;
+        uint64_t byte = (h.bitmapOff + bit / 8) - firstByte;
+        if (value)
+            buf[byte] |= static_cast<uint8_t>(1u << (bit % 8));
+        else
+            buf[byte] &= static_cast<uint8_t>(~(1u << (bit % 8)));
+    }
+    pool_.writeAt(firstByte, buf.data(), buf.size());
+    if (flushBits)
+        pool_.flush(pool_.at(firstByte), buf.size());
+}
+
+void
+PmAllocator::persistAllocate(uint64_t payloadOff)
+{
+    uint64_t bOff = blockOff(payloadOff);
+    uint64_t granules = blockGranules(payloadOff);
+    std::lock_guard<std::mutex> g(mu_);
+    setBits(bOff, granules, true, true);
+    pool_.flush(pool_.at(bOff), sizeof(BlockHeader));
+}
+
+void
+PmAllocator::persistFree(uint64_t payloadOff)
+{
+    uint64_t bOff = blockOff(payloadOff);
+    uint64_t granules = blockGranules(payloadOff);
+    std::lock_guard<std::mutex> g(mu_);
+    setBits(bOff, granules, false, true);
+    insertFreeExtentLocked(bOff, granules * kGranule);
+    stats::bump(stats::Counter::frees);
+}
+
+void
+PmAllocator::revertBits(uint64_t payloadOff, size_t payloadBytes,
+                        bool allocated)
+{
+    uint64_t bOff = blockOff(payloadOff);
+    uint64_t granules =
+        alignUp(sizeof(BlockHeader) + payloadBytes, kGranule) / kGranule;
+    std::lock_guard<std::mutex> g(mu_);
+    if (allocated) {
+        // Restoring an allocated block whose header may have been
+        // torn: rewrite the header from the intent table so later
+        // frees can trust it.
+        BlockHeader bh{payloadBytes, payloadBytes ^ kBlockMagic};
+        pool_.writeAt(bOff, &bh, sizeof(bh));
+        pool_.flush(pool_.at(bOff), sizeof(bh));
+    }
+    setBits(bOff, granules, allocated, true);
+}
+
+void
+PmAllocator::rebuild()
+{
+    const AllocHeader& h = hdr();
+    std::lock_guard<std::mutex> g(mu_);
+    free_.clear();
+    bySize_.clear();
+    const auto* bitmap =
+        static_cast<const uint8_t*>(pool_.at(h.bitmapOff));
+    uint64_t nGranules = h.dataBytes / kGranule;
+    uint64_t runStart = 0;
+    bool inRun = false;
+    for (uint64_t i = 0; i <= nGranules; i++) {
+        bool allocated =
+            i < nGranules &&
+            (bitmap[i / 8] & (1u << (i % 8))) != 0;
+        bool isFree = i < nGranules && !allocated;
+        if (isFree && !inRun) {
+            runStart = i;
+            inRun = true;
+        } else if (!isFree && inRun) {
+            insertFreeExtentLocked(h.dataOff + runStart * kGranule,
+                                   (i - runStart) * kGranule);
+            inRun = false;
+        }
+    }
+}
+
+size_t
+PmAllocator::freeBytes() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    size_t sum = 0;
+    for (const auto& [off, len] : free_)
+        sum += len;
+    return sum;
+}
+
+size_t
+PmAllocator::freeExtents() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return free_.size();
+}
+
+}  // namespace cnvm::alloc

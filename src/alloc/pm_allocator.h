@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Failure-atomic persistent heap allocator (the pmalloc substrate).
+ *
+ * Mirrors the structure of PMDK's allocator, which Clobber-NVM builds
+ * on: allocations are *reserved* volatilely during a transaction and only
+ * become persistent at commit, driven by the owning runtime's intent log
+ * (redo). Frees are deferred to commit. Consequences:
+ *
+ *  - a crash mid-transaction leaks nothing: unreserved state is exactly
+ *    what the persistent bitmap describes;
+ *  - a crash mid-commit is repaired from the runtime's persistent intent
+ *    log by idempotent bit writes (revertBits);
+ *  - Clobber-NVM's re-execution path simply re-reserves — the volatile
+ *    free map is rebuilt from the (unchanged) bitmap first, so recovery
+ *    is deterministic.
+ *
+ * Persistent layout inside the pool's heap region:
+ *
+ *   [ AllocHeader | allocation bitmap (1 bit / 16-byte granule) | data ]
+ *
+ * Every block is preceded by a 16-byte header recording its payload
+ * size (needed by free and by bit reverts).
+ */
+#ifndef CNVM_ALLOC_PM_ALLOCATOR_H
+#define CNVM_ALLOC_PM_ALLOCATOR_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "nvm/pool.h"
+
+namespace cnvm::alloc {
+
+constexpr uint64_t kGranule = 16;
+
+/** Persistent header at the start of the heap region. */
+struct AllocHeader {
+    uint64_t magic;
+    uint64_t bitmapOff;    ///< pool offset of the bitmap
+    uint64_t bitmapBytes;
+    uint64_t dataOff;      ///< pool offset of the first granule
+    uint64_t dataBytes;
+};
+
+/** Per-block persistent header (16 bytes, precedes the payload). */
+struct BlockHeader {
+    uint64_t payloadBytes;
+    uint64_t check;        ///< payloadBytes ^ kBlockMagic
+};
+
+class PmAllocator {
+ public:
+    static constexpr uint64_t kMagic = 0xA110CA7EDB17ull;
+    static constexpr uint64_t kBlockMagic = 0xB10CB10CB10CB10Cull;
+
+    /** Attach to (formatting if necessary) the pool's heap region. */
+    explicit PmAllocator(nvm::Pool& pool);
+
+    PmAllocator(const PmAllocator&) = delete;
+    PmAllocator& operator=(const PmAllocator&) = delete;
+
+    /**
+     * Volatile-reserve a block with `payload` usable bytes.
+     * @return pool offset of the payload (16-byte aligned).
+     */
+    uint64_t reserve(size_t payload);
+
+    /** Roll back a reservation that never committed. */
+    void releaseReservation(uint64_t payloadOff);
+
+    /** Payload size recorded in the block header. */
+    size_t payloadSize(uint64_t payloadOff) const;
+
+    /**
+     * Commit a reservation: set its bitmap bits and flush them (plus
+     * the block header). The caller issues the ordering fence.
+     */
+    void persistAllocate(uint64_t payloadOff);
+
+    /**
+     * Commit a deferred free: clear bitmap bits, flush, and return the
+     * space to the volatile free map. Caller issues the fence.
+     */
+    void persistFree(uint64_t payloadOff);
+
+    /**
+     * Recovery: force the bitmap bits of a block to `allocated`.
+     * Idempotent; used when replaying/reverting intent logs. The size
+     * comes from the caller's intent table — the block header itself
+     * may have been torn by the crash.
+     */
+    void revertBits(uint64_t payloadOff, size_t payloadBytes,
+                    bool allocated);
+
+    /** Rebuild the volatile free map from the persistent bitmap. */
+    void rebuild();
+
+    /** Total bytes in free extents (diagnostics / tests). */
+    size_t freeBytes() const;
+
+    /** Number of free extents (fragmentation diagnostics). */
+    size_t freeExtents() const;
+
+    nvm::Pool& pool() { return pool_; }
+
+ private:
+    const AllocHeader& hdr() const;
+    uint64_t blockOff(uint64_t payloadOff) const
+    {
+        return payloadOff - sizeof(BlockHeader);
+    }
+    uint64_t blockGranules(uint64_t payloadOff) const;
+    void setBits(uint64_t blockOff, uint64_t granules, bool value,
+                 bool flushBits);
+    void insertFreeExtentLocked(uint64_t off, uint64_t len);
+    uint64_t reserveLocked(uint64_t need);
+
+    nvm::Pool& pool_;
+    mutable std::mutex mu_;
+    /** offset -> length, coalesced free extents (absolute pool offsets) */
+    std::map<uint64_t, uint64_t> free_;
+    /** length -> offset index for best-fit */
+    std::multimap<uint64_t, uint64_t> bySize_;
+};
+
+}  // namespace cnvm::alloc
+
+#endif  // CNVM_ALLOC_PM_ALLOCATOR_H

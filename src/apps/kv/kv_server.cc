@@ -1,0 +1,255 @@
+#include "apps/kv/kv_server.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/rand.h"
+#include "txn/txrun.h"
+
+namespace cnvm::apps {
+
+namespace {
+
+uint64_t
+bucketIndex(txn::Tx& tx, nvm::PPtr<PKvStore> root, std::string_view key)
+{
+    uint64_t shards = tx.ld(root->nShards);
+    uint64_t perShard = tx.ld(root->bucketsPerShard);
+    uint64_t h = fnv1a(key.data(), key.size());
+    return (h % shards) * perShard + (h / shards) % perShard;
+}
+
+bool
+keyEquals(txn::Tx& tx, nvm::PPtr<KvItem> it, std::string_view key)
+{
+    uint32_t klen = tx.ld(it->keyLen);
+    if (klen != key.size())
+        return false;
+    char buf[ds::kMaxKeyLen];
+    CNVM_CHECK(klen <= ds::kMaxKeyLen, "key too long");
+    tx.ldBytes(buf, it->keyBytes(), klen);
+    return std::memcmp(buf, key.data(), klen) == 0;
+}
+
+nvm::PPtr<KvItem>
+makeItem(txn::Tx& tx, std::string_view key, std::string_view val,
+         uint32_t flags, uint32_t version, nvm::PPtr<KvItem> next)
+{
+    auto it = tx.pnew<KvItem>(key.size() + val.size());
+    tx.st(it->next, next);
+    tx.st(it->keyLen, static_cast<uint32_t>(key.size()));
+    tx.st(it->valLen, static_cast<uint32_t>(val.size()));
+    tx.st(it->flags, flags);
+    tx.st(it->version, version);
+    tx.stBytes(it->keyBytes(), key.data(), key.size());
+    tx.stBytes(it->valBytes(static_cast<uint32_t>(key.size())),
+               val.data(), val.size());
+    return it;
+}
+
+void
+kvSetFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PKvStore>(a.get<uint64_t>());
+    auto key = a.getString();
+    auto val = a.getString();
+    auto flags = a.get<uint32_t>();
+
+    auto& head = root->buckets()[bucketIndex(tx, root, key)];
+    auto prev = nvm::PPtr<KvItem>();
+    for (auto it = tx.ld(head); !it.isNull();
+         prev = it, it = tx.ld(it->next)) {
+        if (!keyEquals(tx, it, key))
+            continue;
+        uint32_t version = tx.ld(it->version) + 1;
+        if (tx.ld(it->valLen) == val.size()) {
+            // In-place update: value bytes + metadata.
+            tx.stBytes(it->valBytes(static_cast<uint32_t>(key.size())),
+                       val.data(), val.size());
+            tx.st(it->flags, flags);
+            tx.st(it->version, version);
+        } else {
+            auto fresh = makeItem(tx, key, val, flags, version,
+                                  tx.ld(it->next));
+            if (prev.isNull())
+                tx.st(head, fresh);
+            else
+                tx.st(prev->next, fresh);
+            tx.pfree(it);
+        }
+        return;
+    }
+    auto fresh = makeItem(tx, key, val, flags, 1, tx.ld(head));
+    tx.st(head, fresh);
+}
+
+void
+kvGetFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PKvStore>(a.get<uint64_t>());
+    auto key = a.getString();
+    auto* out = reinterpret_cast<ds::LookupResult*>(a.get<uint64_t>());
+    out->found = false;
+    auto& head = root->buckets()[bucketIndex(tx, root, key)];
+    for (auto it = tx.ld(head); !it.isNull(); it = tx.ld(it->next)) {
+        if (!keyEquals(tx, it, key))
+            continue;
+        out->found = true;
+        out->len = tx.ld(it->valLen);
+        CNVM_CHECK(out->len <= ds::kMaxValLen, "value too long");
+        tx.ldBytes(out->value,
+                   it->valBytes(static_cast<uint32_t>(key.size())),
+                   out->len);
+        return;
+    }
+}
+
+void
+kvDelFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PKvStore>(a.get<uint64_t>());
+    auto key = a.getString();
+    auto* out = reinterpret_cast<bool*>(a.get<uint64_t>());
+    auto& head = root->buckets()[bucketIndex(tx, root, key)];
+    auto prev = nvm::PPtr<KvItem>();
+    for (auto it = tx.ld(head); !it.isNull();
+         prev = it, it = tx.ld(it->next)) {
+        if (!keyEquals(tx, it, key))
+            continue;
+        auto next = tx.ld(it->next);
+        if (prev.isNull())
+            tx.st(head, next);
+        else
+            tx.st(prev->next, next);
+        tx.pfree(it);
+        if (out != nullptr)
+            *out = true;
+        return;
+    }
+    if (out != nullptr)
+        *out = false;
+}
+
+const txn::FuncId kKvSet = txn::registerTxFunc("kv_set", kvSetFn);
+const txn::FuncId kKvGet = txn::registerTxFunc("kv_get", kvGetFn);
+const txn::FuncId kKvDel = txn::registerTxFunc("kv_del", kvDelFn);
+
+}  // namespace
+
+KvServer::KvServer(txn::Engine& eng, uint64_t rootOff,
+                   const Config& cfg)
+    : eng_(eng), lockMode_(cfg.lockMode)
+{
+    if (rootOff == 0) {
+        size_t nBuckets = cfg.shards * cfg.bucketsPerShard;
+        rootOff = ds::rawCreate(
+            eng_, sizeof(PKvStore) +
+                      nBuckets * sizeof(nvm::PPtr<KvItem>));
+        root_ = nvm::PPtr<PKvStore>(rootOff);
+        auto& pool = eng_.rt.pool();
+        PKvStore init{};
+        init.nShards = cfg.shards;
+        init.bucketsPerShard = cfg.bucketsPerShard;
+        pool.write(root_.get(), &init, sizeof(init));
+        pool.persist(root_.get(), sizeof(init));
+    } else {
+        root_ = nvm::PPtr<PKvStore>(rootOff);
+    }
+    shards_ = std::vector<Shard>(root_->nShards);
+}
+
+size_t
+KvServer::shardOf(std::string_view key) const
+{
+    return fnv1a(key.data(), key.size()) % root_->nShards;
+}
+
+void
+KvServer::lockShard(size_t idx, bool exclusive)
+{
+    if (lockMode_ == LockMode::spin) {
+        shards_[idx].spin.lock();
+    } else if (exclusive) {
+        shards_[idx].rw.lock();
+    } else {
+        shards_[idx].rw.lock_shared();
+    }
+}
+
+void
+KvServer::unlockShard(size_t idx, bool exclusive)
+{
+    if (lockMode_ == LockMode::spin) {
+        shards_[idx].spin.unlock();
+    } else if (exclusive) {
+        shards_[idx].rw.unlock();
+    } else {
+        shards_[idx].rw.unlock_shared();
+    }
+}
+
+namespace {
+
+/** Exception-safe shard lock (a simulated crash mid-transaction must
+ *  not leave the lock held). */
+class ShardGuard {
+ public:
+    ShardGuard(KvServer& server, size_t idx, bool exclusive)
+        : server_(server), idx_(idx), exclusive_(exclusive)
+    {
+        server_.lockShard(idx_, exclusive_);
+    }
+    ~ShardGuard() { server_.unlockShard(idx_, exclusive_); }
+    ShardGuard(const ShardGuard&) = delete;
+    ShardGuard& operator=(const ShardGuard&) = delete;
+
+ private:
+    KvServer& server_;
+    size_t idx_;
+    bool exclusive_;
+};
+
+}  // namespace
+
+void
+KvServer::set(std::string_view key, std::string_view val,
+              uint32_t flags)
+{
+    ShardGuard g(*this, shardOf(key), true);
+    txn::run(eng_, kKvSet, root_.raw(), key, val, flags);
+}
+
+bool
+KvServer::get(std::string_view key, ds::LookupResult* out)
+{
+    ShardGuard g(*this, shardOf(key), false);
+    txn::run(eng_, kKvGet, root_.raw(), key,
+             reinterpret_cast<uint64_t>(out));
+    return out->found;
+}
+
+bool
+KvServer::del(std::string_view key)
+{
+    ShardGuard g(*this, shardOf(key), true);
+    bool removed = false;
+    txn::run(eng_, kKvDel, root_.raw(), key,
+             reinterpret_cast<uint64_t>(&removed));
+    return removed;
+}
+
+uint64_t
+KvServer::itemCount() const
+{
+    uint64_t n = 0;
+    uint64_t buckets = root_->nShards * root_->bucketsPerShard;
+    for (uint64_t b = 0; b < buckets; b++) {
+        for (auto it = root_->buckets()[b]; !it.isNull();
+             it = it->next) {
+            n++;
+        }
+    }
+    return n;
+}
+
+}  // namespace cnvm::apps

@@ -1,0 +1,421 @@
+#include "apps/vacation/vacation.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/rand.h"
+#include "txn/txrun.h"
+
+namespace cnvm::apps {
+
+namespace {
+
+constexpr uint64_t kNumItemTables = 3;  // cars, flights, rooms
+
+/** Uniform intra-tx view over an RB or AVL table. */
+class Table {
+ public:
+    Table(TableKind kind, uint64_t rootOff)
+        : kind_(kind), rootOff_(rootOff) {}
+
+    static uint64_t
+    create(txn::Tx& tx, TableKind kind)
+    {
+        if (kind == TableKind::rbtree)
+            return ds::RbMap::create(tx).raw();
+        return ds::AvlMap::create(tx).raw();
+    }
+
+    bool
+    put(txn::Tx& tx, uint64_t key, uint64_t value)
+    {
+        if (kind_ == TableKind::rbtree)
+            return rb().put(tx, key, value);
+        return avl().put(tx, key, value);
+    }
+
+    bool
+    get(txn::Tx& tx, uint64_t key, uint64_t* value) const
+    {
+        if (kind_ == TableKind::rbtree)
+            return rb().get(tx, key, value);
+        return avl().get(tx, key, value);
+    }
+
+    bool
+    erase(txn::Tx& tx, uint64_t key)
+    {
+        if (kind_ == TableKind::rbtree)
+            return rb().erase(tx, key);
+        return avl().erase(tx, key);
+    }
+
+    bool
+    floor(txn::Tx& tx, uint64_t key, uint64_t* foundKey,
+          uint64_t* value) const
+    {
+        if (kind_ == TableKind::rbtree)
+            return rb().floor(tx, key, foundKey, value);
+        return avl().floor(tx, key, foundKey, value);
+    }
+
+ private:
+    ds::RbMap
+    rb() const
+    {
+        return ds::RbMap(nvm::PPtr<ds::PRbTree>(rootOff_));
+    }
+    ds::AvlMap
+    avl() const
+    {
+        return ds::AvlMap(nvm::PPtr<ds::PAvlTree>(rootOff_));
+    }
+
+    TableKind kind_;
+    uint64_t rootOff_;
+};
+
+Table
+itemTable(txn::Tx& tx, nvm::PPtr<PVacation> root, uint64_t type)
+{
+    auto kind = static_cast<TableKind>(tx.ld(root->tableKind));
+    return Table(kind, tx.ld(root->tables[type]));
+}
+
+Table
+customerTable(txn::Tx& tx, nvm::PPtr<PVacation> root)
+{
+    auto kind = static_cast<TableKind>(tx.ld(root->tableKind));
+    return Table(kind, tx.ld(root->customers));
+}
+
+/** Create the root and its four empty tables. */
+void
+vacInitFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto kind = static_cast<TableKind>(a.get<uint64_t>());
+    auto* rootOut = reinterpret_cast<uint64_t*>(a.get<uint64_t>());
+    auto root = tx.pnew<PVacation>();
+    tx.st(root->tableKind, static_cast<uint64_t>(kind));
+    for (uint64_t t = 0; t < kNumItemTables; t++)
+        tx.st(root->tables[t], Table::create(tx, kind));
+    tx.st(root->customers, Table::create(tx, kind));
+    *rootOut = root.raw();
+}
+
+/** Add `total` units of item (type, id) at `price` (create/extend). */
+void
+vacAddItemFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PVacation>(a.get<uint64_t>());
+    auto type = a.get<uint64_t>();
+    auto id = a.get<uint64_t>();
+    auto total = a.get<uint64_t>();
+    auto price = a.get<uint64_t>();
+
+    Table tbl = itemTable(tx, root, type);
+    uint64_t off = 0;
+    if (tbl.get(tx, id, &off)) {
+        auto item = nvm::PPtr<ResvItem>(off);
+        tx.st(item->total, tx.ld(item->total) + total);
+        tx.st(item->price, price);
+        return;
+    }
+    auto item = tx.pnew<ResvItem>();
+    tx.st(item->id, id);
+    tx.st(item->total, total);
+    tx.st(item->price, price);
+    tbl.put(tx, id, item.raw());
+}
+
+/** Remove item (type, id) if it has no outstanding reservations. */
+void
+vacRemoveItemFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PVacation>(a.get<uint64_t>());
+    auto type = a.get<uint64_t>();
+    auto id = a.get<uint64_t>();
+
+    Table tbl = itemTable(tx, root, type);
+    uint64_t off = 0;
+    if (!tbl.get(tx, id, &off))
+        return;
+    auto item = nvm::PPtr<ResvItem>(off);
+    if (tx.ld(item->used) != 0)
+        return;  // reservations outstanding: keep it
+    tbl.erase(tx, id);
+    tx.pfree(item.raw());
+}
+
+/**
+ * The reservation task: `q` queries over random tables, then reserve
+ * the highest-priced available item found per type (STAMP's client
+ * behaviour).
+ */
+void
+vacMakeReservationFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PVacation>(a.get<uint64_t>());
+    auto custId = a.get<uint64_t>();
+    auto seed = a.get<uint64_t>();
+    auto q = a.get<uint64_t>();
+    auto records = a.get<uint64_t>();
+
+    Xorshift rng(seed);
+    uint64_t bestOff[kNumItemTables] = {0, 0, 0};
+    uint64_t bestPrice[kNumItemTables] = {0, 0, 0};
+    for (uint64_t j = 0; j < q; j++) {
+        uint64_t type = rng.nextUint(kNumItemTables);
+        uint64_t id = 1 + rng.nextUint(records);
+        Table tbl = itemTable(tx, root, type);
+        uint64_t off = 0;
+        if (!tbl.floor(tx, id, nullptr, &off))
+            continue;
+        auto item = nvm::PPtr<ResvItem>(off);
+        uint64_t price = tx.ld(item->price);
+        bool available = tx.ld(item->used) < tx.ld(item->total);
+        if (available && price > bestPrice[type]) {
+            bestPrice[type] = price;
+            bestOff[type] = off;
+        }
+    }
+
+    // Reserve the winners.
+    bool any = false;
+    for (uint64_t type = 0; type < kNumItemTables; type++) {
+        if (bestOff[type] != 0)
+            any = true;
+    }
+    if (!any)
+        return;
+
+    // Ensure the customer record exists.
+    Table cust = customerTable(tx, root);
+    uint64_t custOff = 0;
+    if (!cust.get(tx, custId, &custOff)) {
+        auto c = tx.pnew<Customer>();
+        tx.st(c->id, custId);
+        cust.put(tx, custId, c.raw());
+        custOff = c.raw();
+    }
+    auto customer = nvm::PPtr<Customer>(custOff);
+
+    for (uint64_t type = 0; type < kNumItemTables; type++) {
+        if (bestOff[type] == 0)
+            continue;
+        auto item = nvm::PPtr<ResvItem>(bestOff[type]);
+        uint64_t used = tx.ld(item->used);
+        if (used >= tx.ld(item->total))
+            continue;
+        tx.st(item->used, used + 1);  // clobbered input
+        auto resv = tx.pnew<CustResv>();
+        tx.st(resv->type, type);
+        tx.st(resv->id, tx.ld(item->id));
+        tx.st(resv->price, tx.ld(item->price));
+        tx.st(resv->next, tx.ld(customer->reservations));
+        tx.st(customer->reservations, resv);
+    }
+}
+
+/** Cancel everything a customer holds and delete the record. */
+void
+vacDeleteCustomerFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PVacation>(a.get<uint64_t>());
+    auto custId = a.get<uint64_t>();
+
+    Table cust = customerTable(tx, root);
+    uint64_t custOff = 0;
+    if (!cust.get(tx, custId, &custOff))
+        return;
+    auto customer = nvm::PPtr<Customer>(custOff);
+
+    auto resv = tx.ld(customer->reservations);
+    while (!resv.isNull()) {
+        Table tbl = itemTable(tx, root, tx.ld(resv->type));
+        uint64_t off = 0;
+        if (tbl.get(tx, tx.ld(resv->id), &off)) {
+            auto item = nvm::PPtr<ResvItem>(off);
+            tx.st(item->used, tx.ld(item->used) - 1);
+        }
+        auto next = tx.ld(resv->next);
+        tx.pfree(resv.raw());
+        resv = next;
+    }
+    cust.erase(tx, custId);
+    tx.pfree(custOff);
+}
+
+/** Batched populate: insert `count` sequential items in one tx. */
+void
+vacAddBatchFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PVacation>(a.get<uint64_t>());
+    auto type = a.get<uint64_t>();
+    auto idStart = a.get<uint64_t>();
+    auto count = a.get<uint64_t>();
+    auto seed = a.get<uint64_t>();
+
+    Xorshift rng(seed);
+    Table tbl = itemTable(tx, root, type);
+    for (uint64_t i = 0; i < count; i++) {
+        auto item = tx.pnew<ResvItem>();
+        tx.st(item->id, idStart + i);
+        tx.st(item->total, uint64_t(100));
+        tx.st(item->price, 50 + rng.nextUint(450));
+        tbl.put(tx, idStart + i, item.raw());
+    }
+}
+
+const txn::FuncId kVacInit = txn::registerTxFunc("vac_init", vacInitFn);
+const txn::FuncId kVacAddBatch =
+    txn::registerTxFunc("vac_add_batch", vacAddBatchFn);
+const txn::FuncId kVacAddItem =
+    txn::registerTxFunc("vac_add_item", vacAddItemFn);
+const txn::FuncId kVacRemoveItem =
+    txn::registerTxFunc("vac_remove_item", vacRemoveItemFn);
+const txn::FuncId kVacMakeResv =
+    txn::registerTxFunc("vac_make_reservation", vacMakeReservationFn);
+const txn::FuncId kVacDeleteCust =
+    txn::registerTxFunc("vac_delete_customer", vacDeleteCustomerFn);
+
+/** @name Direct (non-transactional) traversal for validate(). */
+/// @{
+template <typename Fn>
+void
+walkRb(const ds::RbNode* n, Fn&& fn)
+{
+    if (n == nullptr)
+        return;
+    walkRb(n->left.get(), fn);
+    fn(n->key, n->val.raw());
+    walkRb(n->right.get(), fn);
+}
+
+template <typename Fn>
+void
+walkAvl(const ds::AvlNode* n, Fn&& fn)
+{
+    if (n == nullptr)
+        return;
+    walkAvl(n->left.get(), fn);
+    fn(n->key, n->value);
+    walkAvl(n->right.get(), fn);
+}
+
+template <typename Fn>
+void
+walkTable(TableKind kind, uint64_t rootOff, Fn&& fn)
+{
+    if (kind == TableKind::rbtree) {
+        auto t = nvm::PPtr<ds::PRbTree>(rootOff);
+        walkRb(t->root.get(), fn);
+    } else {
+        auto t = nvm::PPtr<ds::PAvlTree>(rootOff);
+        walkAvl(t->root.get(), fn);
+    }
+}
+/// @}
+
+}  // namespace
+
+Vacation::Vacation(txn::Engine& eng, uint64_t rootOff,
+                   const Config& cfg)
+    : eng_(eng), cfg_(cfg)
+{
+    if (rootOff == 0) {
+        uint64_t newRoot = 0;
+        txn::run(eng_, kVacInit,
+                 static_cast<uint64_t>(cfg.tableKind),
+                 reinterpret_cast<uint64_t>(&newRoot));
+        root_ = nvm::PPtr<PVacation>(newRoot);
+        // Populate in batches (bounded per-transaction log volume).
+        constexpr uint64_t kBatch = 64;
+        for (uint64_t t = 0; t < kNumItemTables; t++) {
+            for (uint64_t id = 1; id <= cfg.recordsPerTable;
+                 id += kBatch) {
+                uint64_t n =
+                    std::min(kBatch, cfg.recordsPerTable - id + 1);
+                txn::run(eng_, kVacAddBatch, root_.raw(), t, id, n,
+                         id * 31 + t);
+            }
+        }
+    } else {
+        root_ = nvm::PPtr<PVacation>(rootOff);
+    }
+}
+
+void
+Vacation::runTask(uint64_t seed)
+{
+    Xorshift rng(seed);
+    uint64_t action = rng.nextUint(100);
+    std::lock_guard<sim::SimMutex> g(lock_);
+    if (action < 90) {
+        uint64_t custId = 1 + rng.nextUint(cfg_.recordsPerTable);
+        txn::run(eng_, kVacMakeResv, root_.raw(), custId, rng.next(),
+                 uint64_t(cfg_.queriesPerTask),
+                 cfg_.recordsPerTable);
+    } else if (action < 99) {
+        uint64_t custId = 1 + rng.nextUint(cfg_.recordsPerTable);
+        txn::run(eng_, kVacDeleteCust, root_.raw(), custId);
+    } else if (action == 99 && rng.nextBool(0.5)) {
+        txn::run(eng_, kVacAddItem, root_.raw(),
+                 rng.nextUint(kNumItemTables),
+                 1 + rng.nextUint(cfg_.recordsPerTable), uint64_t(10),
+                 50 + rng.nextUint(450));
+    } else {
+        txn::run(eng_, kVacRemoveItem, root_.raw(),
+                 rng.nextUint(kNumItemTables),
+                 1 + rng.nextUint(cfg_.recordsPerTable));
+    }
+}
+
+bool
+Vacation::validate() const
+{
+    auto kind = static_cast<TableKind>(root_->tableKind);
+    // Tally reservations held by customers.
+    std::unordered_map<uint64_t, uint64_t> held;  // type<<32|id -> n
+    walkTable(kind, root_->customers, [&](uint64_t, uint64_t off) {
+        auto cust = nvm::PPtr<Customer>(off);
+        for (auto r = cust->reservations; !r.isNull(); r = r->next)
+            held[(r->type << 32) | r->id]++;
+    });
+    // Compare with item used counts.
+    bool ok = true;
+    uint64_t usedSum = 0;
+    for (uint64_t t = 0; t < kNumItemTables; t++) {
+        walkTable(kind, root_->tables[t],
+                  [&](uint64_t id, uint64_t off) {
+                      auto item = nvm::PPtr<ResvItem>(off);
+                      usedSum += item->used;
+                      auto it = held.find((t << 32) | id);
+                      uint64_t h =
+                          it == held.end() ? 0 : it->second;
+                      if (item->used != h || item->used > item->total)
+                          ok = false;
+                  });
+    }
+    uint64_t heldSum = 0;
+    for (const auto& [k, n] : held)
+        heldSum += n;
+    return ok && usedSum == heldSum;
+}
+
+uint64_t
+Vacation::totalReservations() const
+{
+    auto kind = static_cast<TableKind>(root_->tableKind);
+    uint64_t n = 0;
+    walkTable(kind, root_->customers, [&](uint64_t, uint64_t off) {
+        auto cust = nvm::PPtr<Customer>(off);
+        for (auto r = cust->reservations; !r.isNull(); r = r->next)
+            n++;
+    });
+    return n;
+}
+
+}  // namespace cnvm::apps

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * STAMP vacation (Cao Minh et al., IISWC '08) ported to the
+ * failure-atomicity runtimes (paper Section 5.7 / Figure 11).
+ *
+ * A travel agency keeps four reservation tables — cars, flights,
+ * rooms, customers — persisted in NVM; client threads stay volatile.
+ * Each *task* is one transaction performing `queriesPerTask` table
+ * queries followed by reservations (or a customer deletion / item
+ * add-remove). The tables run on either red-black trees (STAMP's
+ * default) or the STAMP AVL tree — the paper swaps them to show how
+ * the underlying structure changes logging volume.
+ *
+ * Workload mix, per the paper: 99% reservation/cancellation tasks,
+ * 1% create/destroy items.
+ */
+#ifndef CNVM_APPS_VACATION_H
+#define CNVM_APPS_VACATION_H
+
+#include "nvm/pptr.h"
+#include "sim/lock.h"
+#include "structures/avltree.h"
+#include "structures/rbtree.h"
+#include "txn/engine.h"
+
+namespace cnvm::apps {
+
+enum class TableKind : uint64_t { rbtree = 0, avltree = 1 };
+
+/** A reservable item (car, flight, or room). */
+struct ResvItem {
+    uint64_t id;
+    uint64_t total;
+    uint64_t used;
+    uint64_t price;
+};
+
+/** One reservation held by a customer. */
+struct CustResv {
+    nvm::PPtr<CustResv> next;
+    uint64_t type;   ///< 0 car, 1 flight, 2 room
+    uint64_t id;
+    uint64_t price;
+};
+
+struct Customer {
+    uint64_t id;
+    nvm::PPtr<CustResv> reservations;
+};
+
+/** Persistent root: table kind + the four table roots. */
+struct PVacation {
+    uint64_t tableKind;
+    uint64_t tables[3];   ///< car/flight/room map roots
+    uint64_t customers;   ///< customer map root
+};
+
+class Vacation {
+ public:
+    struct Config {
+        TableKind tableKind = TableKind::rbtree;
+        uint64_t recordsPerTable = 4096;  ///< paper: 100000
+        unsigned queriesPerTask = 4;      ///< paper sweeps 2..6
+    };
+
+    /** Create (rootOff = 0) or reattach; create populates tables. */
+    Vacation(txn::Engine& eng, uint64_t rootOff, const Config& cfg);
+
+    uint64_t rootOff() const { return root_.raw(); }
+
+    /**
+     * Run one task. `seed` drives the task's deterministic RNG (it is
+     * a transaction input, preserved in the v_log for re-execution).
+     * Mix: 99% make/cancel reservations, 1% add/remove items.
+     */
+    void runTask(uint64_t seed);
+
+    /**
+     * Consistency check (direct traversal): every item's used count
+     * equals the reservations customers hold on it.
+     * @return true if consistent.
+     */
+    bool validate() const;
+
+    /** Items reserved across all customers (diagnostics). */
+    uint64_t totalReservations() const;
+
+ private:
+    txn::Engine& eng_;
+    nvm::PPtr<PVacation> root_;
+    Config cfg_;
+    sim::SimMutex lock_;  ///< STAMP uses coarse transactions
+};
+
+}  // namespace cnvm::apps
+
+#endif  // CNVM_APPS_VACATION_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * 2D geometric predicates for Delaunay triangulation and Ruppert
+ * refinement (yada, paper Section 5.8).
+ *
+ * Plain double-precision evaluation — inputs are generated jittered
+ * grids well away from degeneracy, so adaptive-precision predicates
+ * are unnecessary.
+ */
+#ifndef CNVM_APPS_YADA_GEOMETRY_H
+#define CNVM_APPS_YADA_GEOMETRY_H
+
+#include <cmath>
+
+namespace cnvm::apps::geom {
+
+struct Pt {
+    double x;
+    double y;
+};
+
+/** > 0 iff (a,b,c) wind counter-clockwise. */
+inline double
+orient2d(const Pt& a, const Pt& b, const Pt& c)
+{
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/**
+ * > 0 iff d lies inside the circumcircle of CCW triangle (a,b,c).
+ */
+inline double
+inCircle(const Pt& a, const Pt& b, const Pt& c, const Pt& d)
+{
+    double adx = a.x - d.x, ady = a.y - d.y;
+    double bdx = b.x - d.x, bdy = b.y - d.y;
+    double cdx = c.x - d.x, cdy = c.y - d.y;
+    double ad2 = adx * adx + ady * ady;
+    double bd2 = bdx * bdx + bdy * bdy;
+    double cd2 = cdx * cdx + cdy * cdy;
+    return adx * (bdy * cd2 - cdy * bd2) -
+           ady * (bdx * cd2 - cdx * bd2) +
+           ad2 * (bdx * cdy - cdx * bdy);
+}
+
+/** Circumcenter of triangle (a,b,c). */
+inline Pt
+circumcenter(const Pt& a, const Pt& b, const Pt& c)
+{
+    double d = 2.0 * orient2d(a, b, c);
+    double a2 = a.x * a.x + a.y * a.y;
+    double b2 = b.x * b.x + b.y * b.y;
+    double c2 = c.x * c.x + c.y * c.y;
+    Pt out;
+    out.x = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) /
+            d;
+    out.y = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) /
+            d;
+    return out;
+}
+
+inline double
+dist(const Pt& a, const Pt& b)
+{
+    double dx = a.x - b.x;
+    double dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+/** Smallest interior angle of (a,b,c), in degrees. */
+inline double
+minAngleDeg(const Pt& a, const Pt& b, const Pt& c)
+{
+    double la = dist(b, c);
+    double lb = dist(a, c);
+    double lc = dist(a, b);
+    auto angle = [](double opp, double s1, double s2) {
+        double cosv = (s1 * s1 + s2 * s2 - opp * opp) / (2 * s1 * s2);
+        if (cosv > 1)
+            cosv = 1;
+        if (cosv < -1)
+            cosv = -1;
+        return std::acos(cosv) * 180.0 / M_PI;
+    };
+    double aa = angle(la, lb, lc);
+    double ab = angle(lb, la, lc);
+    double ac = 180.0 - aa - ab;
+    return std::fmin(aa, std::fmin(ab, ac));
+}
+
+/** True iff p lies inside the diametral circle of segment (a,b). */
+inline bool
+encroaches(const Pt& a, const Pt& b, const Pt& p)
+{
+    // Angle apb > 90 degrees <=> p inside the diametral circle.
+    double vx1 = a.x - p.x, vy1 = a.y - p.y;
+    double vx2 = b.x - p.x, vy2 = b.y - p.y;
+    return vx1 * vx2 + vy1 * vy2 < 0;
+}
+
+}  // namespace cnvm::apps::geom
+
+#endif  // CNVM_APPS_YADA_GEOMETRY_H

@@ -1,0 +1,538 @@
+#include "apps/yada/yada.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rand.h"
+#include "txn/txrun.h"
+
+namespace cnvm::apps {
+
+namespace {
+
+using geom::Pt;
+using TP = nvm::PPtr<YTri>;
+
+YPoints*
+points(txn::Tx& tx, nvm::PPtr<PMesh> mesh)
+{
+    return static_cast<YPoints*>(
+        tx.pool().at(tx.ld(mesh->pointsOff)));
+}
+
+Pt
+loadPt(txn::Tx& tx, nvm::PPtr<PMesh> mesh, uint32_t idx)
+{
+    Pt p;
+    tx.ldBytes(&p, &points(tx, mesh)->data()[idx], sizeof(Pt));
+    return p;
+}
+
+void
+triPts(txn::Tx& tx, nvm::PPtr<PMesh> mesh, TP t, Pt out[3])
+{
+    for (int i = 0; i < 3; i++)
+        out[i] = loadPt(tx, mesh, tx.ld(t->v[i]));
+}
+
+bool
+isBad(txn::Tx& tx, nvm::PPtr<PMesh> mesh, TP t)
+{
+    Pt p[3];
+    triPts(tx, mesh, t, p);
+    double threshold =
+        static_cast<double>(tx.ld(mesh->badThresholdMilliDeg)) / 1000.0;
+    return geom::minAngleDeg(p[0], p[1], p[2]) < threshold;
+}
+
+void
+pushIfBad(txn::Tx& tx, nvm::PPtr<PMesh> mesh, TP t)
+{
+    if (tx.ld(t->inQueue) != 0 || !isBad(tx, mesh, t))
+        return;
+    tx.st(t->qnext, tx.ld(mesh->queueHead));
+    tx.st(mesh->queueHead, t);
+    tx.st(t->inQueue, 1u);
+}
+
+/** Result of walking toward a point. */
+struct Located {
+    TP tri;          ///< triangle containing p (or the last one)
+    int exitEdge;    ///< -1 if inside; else the hull edge index
+};
+
+/**
+ * Visibility walk from `start` toward p. Returns the containing
+ * triangle, or the triangle + hull edge p lies beyond.
+ */
+Located
+locate(txn::Tx& tx, nvm::PPtr<PMesh> mesh, const Pt& p, TP start)
+{
+    TP cur = start;
+    size_t guard = 0;
+    while (true) {
+        CNVM_CHECK(++guard < 100000, "point-location walk diverged");
+        Pt v[3];
+        triPts(tx, mesh, cur, v);
+        int exit = -1;
+        for (int i = 0; i < 3 && exit < 0; i++) {
+            const Pt& a = v[(i + 1) % 3];
+            const Pt& b = v[(i + 2) % 3];
+            if (geom::orient2d(a, b, p) < 0)
+                exit = i;
+        }
+        if (exit < 0)
+            return {cur, -1};
+        TP next = tx.ld(cur->nbr[exit]);
+        if (next.isNull())
+            return {cur, exit};
+        cur = next;
+    }
+}
+
+/** A directed cavity-boundary edge (interior on the left). */
+struct BoundaryEdge {
+    uint32_t a;
+    uint32_t b;
+    TP ext;  ///< outside neighbor (null on the hull)
+};
+
+/**
+ * Insert point index `pIdx` (coordinates `p`) whose containing
+ * triangle is `startTri`. If `splitA`/`splitB` name a hull edge the
+ * point lies on, no triangle is created across that edge (the fan
+ * stays open and (a,p),(p,b) become hull edges).
+ * @return number of new triangles pushed as bad.
+ */
+void
+insertPoint(txn::Tx& tx, nvm::PPtr<PMesh> mesh, const Pt& p,
+            uint32_t pIdx, TP startTri, uint32_t splitA,
+            uint32_t splitB)
+{
+    // 1. Grow the cavity: BFS over triangles whose circumcircle
+    //    contains p.
+    std::vector<TP> cavity;
+    std::unordered_set<uint64_t> inCavity;
+    std::vector<TP> stack{startTri};
+    inCavity.insert(startTri.raw());
+    while (!stack.empty()) {
+        TP t = stack.back();
+        stack.pop_back();
+        cavity.push_back(t);
+        for (int i = 0; i < 3; i++) {
+            TP n = tx.ld(t->nbr[i]);
+            if (n.isNull() || inCavity.count(n.raw()) != 0)
+                continue;
+            Pt v[3];
+            triPts(tx, mesh, n, v);
+            if (geom::inCircle(v[0], v[1], v[2], p) > 0) {
+                inCavity.insert(n.raw());
+                stack.push_back(n);
+            }
+        }
+    }
+
+    // 2. Collect the cavity's boundary edges (deterministic order).
+    std::vector<BoundaryEdge> boundary;
+    for (TP t : cavity) {
+        for (int i = 0; i < 3; i++) {
+            TP n = tx.ld(t->nbr[i]);
+            if (!n.isNull() && inCavity.count(n.raw()) != 0)
+                continue;
+            BoundaryEdge e;
+            e.a = tx.ld(t->v[(i + 1) % 3]);
+            e.b = tx.ld(t->v[(i + 2) % 3]);
+            e.ext = n;
+            boundary.push_back(e);
+        }
+    }
+
+    // 3. Delete the cavity triangles. Triangles still linked into the
+    //    work queue are only marked dead (the queue pop frees them).
+    for (TP t : cavity) {
+        tx.st(t->alive, 0u);
+        if (tx.ld(t->inQueue) == 0)
+            tx.pfree(t.raw());
+    }
+    tx.st(mesh->aliveTriangles,
+          tx.ld(mesh->aliveTriangles) - cavity.size());
+
+    // 4. Re-triangulate: fan p to every boundary edge.
+    std::unordered_map<uint32_t, TP> byA;  // edge start vertex -> tri
+    std::unordered_map<uint32_t, TP> byB;  // edge end vertex -> tri
+    std::vector<std::pair<BoundaryEdge, TP>> created;
+    for (const auto& e : boundary) {
+        if ((e.a == splitA && e.b == splitB) ||
+            (e.a == splitB && e.b == splitA)) {
+            continue;  // p lies on this hull edge: leave the fan open
+        }
+        auto t = tx.pnew<YTri>();
+        tx.st(t->v[0], e.a);
+        tx.st(t->v[1], e.b);
+        tx.st(t->v[2], pIdx);
+        tx.st(t->alive, 1u);
+        byA[e.a] = t;
+        byB[e.b] = t;
+        created.emplace_back(e, t);
+    }
+    CNVM_CHECK(!created.empty(), "cavity retriangulation empty");
+
+    // 5. Wire neighbors.
+    for (auto& [e, t] : created) {
+        // Edge (v0,v1) = (a,b), opposite v2: the outside neighbor.
+        tx.st(t->nbr[2], e.ext);
+        if (!e.ext.isNull()) {
+            // Fix the outside triangle's back pointer on edge (b,a).
+            for (int i = 0; i < 3; i++) {
+                uint32_t ea = tx.ld(e.ext->v[(i + 1) % 3]);
+                uint32_t eb = tx.ld(e.ext->v[(i + 2) % 3]);
+                if (ea == e.b && eb == e.a) {
+                    tx.st(e.ext->nbr[i], t);
+                    break;
+                }
+            }
+        }
+        // Edge (v1,v2) = (b,p), opposite v0: the fan tri starting at b.
+        auto itA = byA.find(e.b);
+        tx.st(t->nbr[0], itA == byA.end() ? TP() : itA->second);
+        // Edge (v2,v0) = (p,a), opposite v1: the fan tri ending at a.
+        auto itB = byB.find(e.a);
+        tx.st(t->nbr[1], itB == byB.end() ? TP() : itB->second);
+    }
+
+    tx.st(mesh->anyAlive, created.front().second);
+    tx.st(mesh->aliveTriangles,
+          tx.ld(mesh->aliveTriangles) + created.size());
+    for (auto& [e, t] : created)
+        pushIfBad(tx, mesh, t);
+}
+
+/** Append a point to the persistent array. @return its index. */
+uint32_t
+appendPoint(txn::Tx& tx, nvm::PPtr<PMesh> mesh, const Pt& p)
+{
+    YPoints* pts = points(tx, mesh);
+    uint64_t count = tx.ld(pts->count);
+    CNVM_CHECK(count < tx.ld(pts->cap), "point arena exhausted");
+    tx.stBytes(&pts->data()[count], &p, sizeof(Pt));
+    tx.st(pts->count, count + 1);
+    return static_cast<uint32_t>(count);
+}
+
+/** Split boundary segment (a,b) in the segment list at point m. */
+void
+splitSegment(txn::Tx& tx, nvm::PPtr<PMesh> mesh, uint32_t a,
+             uint32_t b, uint32_t m)
+{
+    for (auto s = tx.ld(mesh->segHead); !s.isNull();
+         s = tx.ld(s->next)) {
+        uint32_t sa = tx.ld(s->a);
+        uint32_t sb = tx.ld(s->b);
+        if ((sa == a && sb == b) || (sa == b && sb == a)) {
+            // Reuse this node for (a,m), prepend (m,b).
+            tx.st(s->b, m);
+            tx.st(s->a, a);
+            auto half = tx.pnew<YSeg>();
+            tx.st(half->a, m);
+            tx.st(half->b, b);
+            tx.st(half->next, tx.ld(mesh->segHead));
+            tx.st(mesh->segHead, half);
+            return;
+        }
+    }
+    // Edge not registered (can happen after simplifier-skipped
+    // cascades): register both halves so future splits find them.
+    auto h1 = tx.pnew<YSeg>();
+    tx.st(h1->a, a);
+    tx.st(h1->b, m);
+    auto h2 = tx.pnew<YSeg>();
+    tx.st(h2->a, m);
+    tx.st(h2->b, b);
+    tx.st(h2->next, tx.ld(mesh->segHead));
+    tx.st(h1->next, h2);
+    tx.st(mesh->segHead, h1);
+}
+
+/** Create the square domain: 4 corners, 2 seed triangles, 4 sides. */
+void
+yadaCreateFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto maxPoints = a.get<uint64_t>();
+    auto thresholdMilli = a.get<uint64_t>();
+    auto* rootOut = reinterpret_cast<uint64_t*>(a.get<uint64_t>());
+
+    auto mesh = tx.pnew<PMesh>();
+    uint64_t ptsOff = tx.pmallocOff(sizeof(YPoints) +
+                                    maxPoints * sizeof(Pt));
+    tx.st(mesh->pointsOff, ptsOff);
+    auto* pts = static_cast<YPoints*>(tx.pool().at(ptsOff));
+    tx.st(pts->count, uint64_t(0));
+    tx.st(pts->cap, maxPoints);
+    tx.st(mesh->badThresholdMilliDeg, thresholdMilli);
+
+    const Pt corners[4] = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+    for (const Pt& c : corners)
+        appendPoint(tx, mesh, c);
+
+    auto t0 = tx.pnew<YTri>();
+    auto t1 = tx.pnew<YTri>();
+    // t0 = (0,1,2), t1 = (0,2,3); shared diagonal (0,2).
+    tx.st(t0->v[0], 0u);
+    tx.st(t0->v[1], 1u);
+    tx.st(t0->v[2], 2u);
+    tx.st(t0->alive, 1u);
+    tx.st(t0->nbr[1], t1);  // edge (2,0)
+    tx.st(t1->v[0], 0u);
+    tx.st(t1->v[1], 2u);
+    tx.st(t1->v[2], 3u);
+    tx.st(t1->alive, 1u);
+    tx.st(t1->nbr[2], t0);  // edge (0,2)
+    tx.st(mesh->anyAlive, t0);
+    tx.st(mesh->aliveTriangles, uint64_t(2));
+
+    const uint32_t sides[4][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+    for (const auto& s : sides) {
+        auto seg = tx.pnew<YSeg>();
+        tx.st(seg->a, s[0]);
+        tx.st(seg->b, s[1]);
+        tx.st(seg->next, tx.ld(mesh->segHead));
+        tx.st(mesh->segHead, seg);
+    }
+    *rootOut = mesh.raw();
+}
+
+/** Build-phase insertion of an interior point. */
+void
+yadaInsertFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto mesh = nvm::PPtr<PMesh>(a.get<uint64_t>());
+    Pt p;
+    p.x = a.get<double>();
+    p.y = a.get<double>();
+    Located loc = locate(tx, mesh, p, tx.ld(mesh->anyAlive));
+    CNVM_CHECK(loc.exitEdge < 0, "build point outside the domain");
+    uint32_t idx = appendPoint(tx, mesh, p);
+    insertPoint(tx, mesh, p, idx, loc.tri, ~0u, ~0u);
+}
+
+/** Seed the work queue with every bad triangle (mesh-wide BFS). */
+void
+yadaSeedQueueFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto mesh = nvm::PPtr<PMesh>(a.get<uint64_t>());
+    std::unordered_set<uint64_t> seen;
+    std::vector<TP> stack{tx.ld(mesh->anyAlive)};
+    seen.insert(stack.back().raw());
+    while (!stack.empty()) {
+        TP t = stack.back();
+        stack.pop_back();
+        pushIfBad(tx, mesh, t);
+        for (int i = 0; i < 3; i++) {
+            TP n = tx.ld(t->nbr[i]);
+            if (!n.isNull() && seen.insert(n.raw()).second)
+                stack.push_back(n);
+        }
+    }
+}
+
+/** One refinement step: pop, insert circumcenter or split segment. */
+void
+yadaStepFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto mesh = nvm::PPtr<PMesh>(a.get<uint64_t>());
+    TP tri = tx.ld(mesh->queueHead);
+    if (tri.isNull())
+        return;
+    tx.st(mesh->queueHead, tx.ld(tri->qnext));
+    tx.st(tri->inQueue, 0u);
+    if (tx.ld(tri->alive) == 0) {
+        tx.pfree(tri.raw());  // deferred free from a cavity deletion
+        return;
+    }
+    if (!isBad(tx, mesh, tri))
+        return;
+
+    Pt v[3];
+    triPts(tx, mesh, tri, v);
+    Pt center = geom::circumcenter(v[0], v[1], v[2]);
+
+    // Ruppert: if the circumcenter encroaches a boundary segment,
+    // split that segment's midpoint instead of inserting the center.
+    uint32_t encA = ~0u, encB = ~0u;
+    for (auto s = tx.ld(mesh->segHead); !s.isNull();
+         s = tx.ld(s->next)) {
+        uint32_t sa = tx.ld(s->a);
+        uint32_t sb = tx.ld(s->b);
+        Pt pa = loadPt(tx, mesh, sa);
+        Pt pb = loadPt(tx, mesh, sb);
+        if (geom::encroaches(pa, pb, center)) {
+            encA = sa;
+            encB = sb;
+            break;
+        }
+    }
+
+    if (encA != ~0u) {
+        Pt pa = loadPt(tx, mesh, encA);
+        Pt pb = loadPt(tx, mesh, encB);
+        Pt mid{(pa.x + pb.x) / 2, (pa.y + pb.y) / 2};
+        // Locate the triangle owning this hull edge by walking to a
+        // point nudged just inside the domain.
+        Pt inward{mid.x + (pb.y - pa.y) * 1e-7,
+                  mid.y - (pb.x - pa.x) * 1e-7};
+        Located loc = locate(tx, mesh, inward, tri);
+        uint32_t m = appendPoint(tx, mesh, mid);
+        splitSegment(tx, mesh, encA, encB, m);
+        // Re-queue `tri` (still bad) *before* inserting: if the
+        // cavity swallows it, the queued flag defers its free to the
+        // pop that drains it — touching it afterwards would be a
+        // use-after-free.
+        pushIfBad(tx, mesh, tri);
+        insertPoint(tx, mesh, mid, m, loc.tri, encA, encB);
+        return;
+    }
+
+    Located loc = locate(tx, mesh, center, tri);
+    if (loc.exitEdge >= 0) {
+        // Center escapes through a hull edge: split that segment.
+        uint32_t ea = tx.ld(loc.tri->v[(loc.exitEdge + 1) % 3]);
+        uint32_t eb = tx.ld(loc.tri->v[(loc.exitEdge + 2) % 3]);
+        Pt pa = loadPt(tx, mesh, ea);
+        Pt pb = loadPt(tx, mesh, eb);
+        Pt mid{(pa.x + pb.x) / 2, (pa.y + pb.y) / 2};
+        uint32_t m = appendPoint(tx, mesh, mid);
+        splitSegment(tx, mesh, ea, eb, m);
+        pushIfBad(tx, mesh, tri);  // see encroachment path above
+        insertPoint(tx, mesh, mid, m, loc.tri, ea, eb);
+        return;
+    }
+    uint32_t idx = appendPoint(tx, mesh, center);
+    insertPoint(tx, mesh, center, idx, loc.tri, ~0u, ~0u);
+}
+
+const txn::FuncId kYadaCreate =
+    txn::registerTxFunc("yada_create", yadaCreateFn);
+const txn::FuncId kYadaInsert =
+    txn::registerTxFunc("yada_insert", yadaInsertFn);
+const txn::FuncId kYadaSeed =
+    txn::registerTxFunc("yada_seed_queue", yadaSeedQueueFn);
+const txn::FuncId kYadaStep =
+    txn::registerTxFunc("yada_step", yadaStepFn);
+
+}  // namespace
+
+Yada::Yada(txn::Engine& eng, uint64_t rootOff, const Config& cfg)
+    : eng_(eng), cfg_(cfg)
+{
+    if (rootOff != 0) {
+        root_ = nvm::PPtr<PMesh>(rootOff);
+        return;
+    }
+    uint64_t newRoot = 0;
+    txn::run(eng_, kYadaCreate, cfg.maxPoints,
+             static_cast<uint64_t>(cfg.angleConstraintDeg * 1000),
+             reinterpret_cast<uint64_t>(&newRoot));
+    root_ = nvm::PPtr<PMesh>(newRoot);
+
+    // Generate the jittered interior grid and insert point by point
+    // (each insertion is one transaction, like refinement steps).
+    Xorshift rng(20260707);
+    double step = 0.9 / static_cast<double>(cfg.gridSide - 1);
+    for (uint64_t gy = 0; gy < cfg.gridSide; gy++) {
+        for (uint64_t gx = 0; gx < cfg.gridSide; gx++) {
+            double jx = (rng.nextDouble() - 0.5) * step * 0.5;
+            double jy = (rng.nextDouble() - 0.5) * step * 0.5;
+            double x = 0.05 + static_cast<double>(gx) * step + jx;
+            double y = 0.05 + static_cast<double>(gy) * step + jy;
+            txn::run(eng_, kYadaInsert, root_.raw(), x, y);
+        }
+    }
+    txn::run(eng_, kYadaSeed, root_.raw());
+}
+
+bool
+Yada::refineStep()
+{
+    if (!hasWork())
+        return false;
+    txn::run(eng_, kYadaStep, root_.raw());
+    return true;
+}
+
+uint64_t
+Yada::refineAll()
+{
+    uint64_t steps = 0;
+    while (hasWork() && steps < cfg_.maxSteps &&
+           pointCount() + 8 < cfg_.maxPoints) {
+        refineStep();
+        steps++;
+    }
+    return steps;
+}
+
+uint64_t
+Yada::pointCount() const
+{
+    auto* pts = static_cast<const YPoints*>(
+        eng_.rt.pool().at(root_->pointsOff));
+    return pts->count;
+}
+
+bool
+Yada::validate(bool requireQuality) const
+{
+    auto& pool = eng_.rt.pool();
+    auto* pts =
+        static_cast<YPoints*>(pool.at(root_->pointsOff));
+    double threshold =
+        static_cast<double>(root_->badThresholdMilliDeg) / 1000.0;
+
+    std::unordered_set<uint64_t> seen;
+    std::vector<const YTri*> stack;
+    const YTri* start = root_->anyAlive.get();
+    if (start == nullptr)
+        return false;
+    stack.push_back(start);
+    seen.insert(root_->anyAlive.raw());
+    uint64_t alive = 0;
+    bool ok = true;
+    while (!stack.empty()) {
+        const YTri* t = stack.back();
+        stack.pop_back();
+        if (t->alive == 0) {
+            ok = false;
+            continue;
+        }
+        alive++;
+        Pt v[3];
+        for (int i = 0; i < 3; i++)
+            v[i] = pts->data()[t->v[i]];
+        if (geom::orient2d(v[0], v[1], v[2]) <= 0)
+            ok = false;
+        if (requireQuality &&
+            geom::minAngleDeg(v[0], v[1], v[2]) < threshold - 1e-9) {
+            ok = false;
+        }
+        for (int i = 0; i < 3; i++) {
+            const YTri* n = t->nbr[i].get();
+            if (n == nullptr)
+                continue;
+            // Neighbor symmetry: n must point back at t.
+            bool back = false;
+            for (int j = 0; j < 3; j++) {
+                if (n->nbr[j].get() == t)
+                    back = true;
+            }
+            if (!back)
+                ok = false;
+            if (seen.insert(t->nbr[i].raw()).second)
+                stack.push_back(n);
+        }
+    }
+    return ok && alive == root_->aliveTriangles;
+}
+
+}  // namespace cnvm::apps

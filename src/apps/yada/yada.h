@@ -1,0 +1,113 @@
+/**
+ * @file
+ * yada: Ruppert's Delaunay mesh refinement (STAMP), persistent
+ * (paper Section 5.8 / Figure 12).
+ *
+ * The STAMP input file (ttimeu10000.2) is not available offline, so
+ * the initial mesh is *generated*: a jittered grid of points inside
+ * the unit square is Delaunay-triangulated by incremental insertion
+ * (Bowyer-Watson) — the same cavity machinery refinement uses — over
+ * the square's two seed triangles. The square's four sides are the
+ * boundary segments.
+ *
+ * As in the paper, the persistent state is the triangle mesh, the
+ * boundary-segment set, and the work queue of bad triangles; each
+ * refinement step (pop a bad triangle, insert its circumcenter or
+ * split an encroached boundary segment, retriangulate the cavity) is
+ * one failure-atomic transaction. Refinement runs until no triangle
+ * has a minimum angle below the configured constraint (15-30 degrees
+ * in Figure 12).
+ */
+#ifndef CNVM_APPS_YADA_H
+#define CNVM_APPS_YADA_H
+
+#include "apps/yada/geometry.h"
+#include "nvm/pptr.h"
+#include "txn/engine.h"
+
+namespace cnvm::apps {
+
+/** Persistent triangle. Vertices CCW; nbr[i] shares the edge opposite
+ *  vertex i (v[i+1], v[i+2]). */
+struct YTri {
+    uint32_t v[3];
+    uint32_t alive;
+    nvm::PPtr<YTri> nbr[3];
+    nvm::PPtr<YTri> qnext;   ///< work-queue link
+    uint32_t inQueue;
+    uint32_t pad;
+};
+
+/** Persistent growable point array. */
+struct YPoints {
+    uint64_t count;
+    uint64_t cap;
+
+    geom::Pt*
+    data()
+    {
+        return reinterpret_cast<geom::Pt*>(this + 1);
+    }
+};
+
+/** Persistent boundary segment (linked list; few dozen entries). */
+struct YSeg {
+    nvm::PPtr<YSeg> next;
+    uint32_t a;
+    uint32_t b;
+};
+
+struct PMesh {
+    uint64_t pointsOff;
+    nvm::PPtr<YTri> queueHead;
+    nvm::PPtr<YSeg> segHead;
+    nvm::PPtr<YTri> anyAlive;   ///< walk entry point
+    uint64_t aliveTriangles;
+    uint64_t badThresholdMilliDeg;  ///< angle constraint * 1000
+};
+
+class Yada {
+ public:
+    struct Config {
+        uint64_t gridSide = 24;       ///< ~gridSide^2 initial points
+        double angleConstraintDeg = 20.0;
+        uint64_t maxPoints = 200000;
+        uint64_t maxSteps = 400000;   ///< safety cap (>20.7 degrees
+                                      ///< Ruppert may not terminate)
+    };
+
+    /** Create (rootOff = 0: generate + triangulate) or reattach. */
+    Yada(txn::Engine& eng, uint64_t rootOff, const Config& cfg);
+
+    uint64_t rootOff() const { return root_.raw(); }
+
+    /** True iff bad triangles remain in the queue. */
+    bool hasWork() const { return !root_->queueHead.isNull(); }
+
+    /** One refinement transaction. @return false if queue was empty. */
+    bool refineStep();
+
+    /** Run refinement to completion (or the step cap). @return steps. */
+    uint64_t refineAll();
+
+    /** Alive triangles (the paper's "final mesh size"). */
+    uint64_t meshSize() const { return root_->aliveTriangles; }
+
+    uint64_t pointCount() const;
+
+    /**
+     * Direct full-mesh validation: neighbor symmetry, CCW orientation,
+     * alive count, and (optionally) the angle constraint.
+     * @return true if the mesh is consistent.
+     */
+    bool validate(bool requireQuality) const;
+
+ private:
+    txn::Engine& eng_;
+    nvm::PPtr<PMesh> root_;
+    Config cfg_;
+};
+
+}  // namespace cnvm::apps
+
+#endif  // CNVM_APPS_YADA_H

@@ -1,0 +1,159 @@
+#include "cir/analysis.h"
+
+#include "common/error.h"
+
+namespace cnvm::cir {
+
+AliasAnalysis::AliasAnalysis(const Function& f)
+    : info_(f.numValues())
+{
+    for (const auto& block : f.blocks()) {
+        for (const auto& instr : block.instrs) {
+            if (instr.result == kNoValue)
+                continue;
+            PtrInfo& pi = info_[instr.result];
+            switch (instr.op) {
+              case Op::arg:
+                pi.kind = BaseKind::arg;
+                pi.base = instr.result;
+                pi.offsetKnown = true;
+                break;
+              case Op::alloca_:
+              case Op::malloc_:
+                pi.kind = BaseKind::fresh;
+                pi.base = instr.result;
+                pi.offsetKnown = true;
+                break;
+              case Op::gep: {
+                const PtrInfo& base = info_[instr.value];
+                pi = base;
+                if (instr.offset < 0 || !base.offsetKnown) {
+                    pi.offsetKnown = false;
+                } else {
+                    pi.offset = base.offset + instr.offset;
+                }
+                break;
+              }
+              case Op::load:
+                // A loaded pointer: unknown target, identified by the
+                // SSA value (the same value reused is the same target).
+                pi.kind = BaseKind::loaded;
+                pi.base = instr.result;
+                pi.offsetKnown = true;
+                break;
+              default:
+                pi.kind = BaseKind::unknown;
+                break;
+            }
+        }
+    }
+}
+
+Alias
+AliasAnalysis::alias(ValueId p, ValueId q) const
+{
+    if (p == q)
+        return Alias::must;
+    const PtrInfo& a = info_[p];
+    const PtrInfo& b = info_[q];
+
+    if (a.kind == BaseKind::unknown || b.kind == BaseKind::unknown)
+        return Alias::may;
+
+    if (a.base == b.base) {
+        if (a.offsetKnown && b.offsetKnown) {
+            return a.offset == b.offset ? Alias::must : Alias::no;
+        }
+        return Alias::may;
+    }
+
+    // Distinct fresh allocations never alias anything pre-existing,
+    // nor each other.
+    if (a.kind == BaseKind::fresh &&
+        (b.kind == BaseKind::fresh || b.kind == BaseKind::arg)) {
+        return Alias::no;
+    }
+    if (b.kind == BaseKind::fresh && a.kind == BaseKind::arg)
+        return Alias::no;
+
+    // arg-vs-arg, arg-vs-loaded, loaded-vs-loaded, fresh-vs-loaded
+    // (a loaded pointer could point into a just-published fresh
+    // object): may alias.
+    return Alias::may;
+}
+
+Dominators::Dominators(const Function& f) : f_(f)
+{
+    auto n = static_cast<int>(f.blocks().size());
+    CNVM_CHECK(n > 0, "empty function");
+
+    // Iterative dominator dataflow: dom(b) = {b} U intersect(preds).
+    std::vector<std::vector<int>> preds(n);
+    for (int b = 0; b < n; b++) {
+        for (int s : f.blocks()[b].succs)
+            preds[s].push_back(b);
+    }
+    dom_.assign(n, std::vector<bool>(n, true));
+    dom_[0].assign(n, false);
+    dom_[0][0] = true;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = 1; b < n; b++) {
+            std::vector<bool> next(n, preds[b].empty() ? false : true);
+            for (int p : preds[b]) {
+                for (int i = 0; i < n; i++)
+                    next[i] = next[i] && dom_[p][i];
+            }
+            next[b] = true;
+            if (next != dom_[b]) {
+                dom_[b] = next;
+                changed = true;
+            }
+        }
+    }
+
+    // Block reachability closure (including cycles back to self).
+    reach_.assign(n, std::vector<bool>(n, false));
+    for (int b = 0; b < n; b++) {
+        std::vector<int> stack{b};
+        std::vector<bool> seen(n, false);
+        while (!stack.empty()) {
+            int cur = stack.back();
+            stack.pop_back();
+            for (int s : f.blocks()[cur].succs) {
+                if (!reach_[b][s]) {
+                    reach_[b][s] = true;
+                    if (!seen[s]) {
+                        seen[s] = true;
+                        stack.push_back(s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+bool
+Dominators::blockDominates(int a, int b) const
+{
+    return dom_[b][a];
+}
+
+bool
+Dominators::dominates(const InstrRef& a, const InstrRef& b) const
+{
+    if (a.block == b.block)
+        return a.index < b.index;
+    return blockDominates(a.block, b.block);
+}
+
+bool
+Dominators::mayFollow(const InstrRef& a, const InstrRef& b) const
+{
+    if (a.block == b.block && a.index < b.index)
+        return true;
+    return reach_[a.block][b.block];
+}
+
+}  // namespace cnvm::cir

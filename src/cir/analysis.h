@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analyses backing the clobber-write identification pass: points-to
+ * style alias analysis, dominator tree, and reachability — the
+ * "classic alias analysis" and dominance reasoning of paper
+ * Section 4.4.
+ */
+#ifndef CNVM_CIR_ANALYSIS_H
+#define CNVM_CIR_ANALYSIS_H
+
+#include <vector>
+
+#include "cir/ir.h"
+
+namespace cnvm::cir {
+
+/** Alias-query verdict, as in LLVM's AliasResult. */
+enum class Alias { no, may, must };
+
+/**
+ * Flow-insensitive pointer descriptors: every pointer value reduces
+ * to (base object, offset), where the base is an argument, a fresh
+ * allocation, or an unknown (loaded) pointer.
+ */
+class AliasAnalysis {
+ public:
+    explicit AliasAnalysis(const Function& f);
+
+    /** Relationship between the targets of two pointer values. */
+    Alias alias(ValueId p, ValueId q) const;
+
+ private:
+    enum class BaseKind { arg, fresh, loaded, unknown };
+
+    struct PtrInfo {
+        BaseKind kind = BaseKind::unknown;
+        ValueId base = kNoValue;
+        int64_t offset = 0;
+        bool offsetKnown = false;
+    };
+
+    std::vector<PtrInfo> info_;
+};
+
+/** Dominator relation over blocks and instructions. */
+class Dominators {
+ public:
+    explicit Dominators(const Function& f);
+
+    bool blockDominates(int a, int b) const;
+
+    /** True iff instruction a executes on every path before b. */
+    bool dominates(const InstrRef& a, const InstrRef& b) const;
+
+    /** True iff b may execute after a on some path. */
+    bool mayFollow(const InstrRef& a, const InstrRef& b) const;
+
+ private:
+    const Function& f_;
+    std::vector<std::vector<bool>> dom_;    ///< dom_[b][a]: a dom b
+    std::vector<std::vector<bool>> reach_;  ///< reach_[a][b]
+};
+
+}  // namespace cnvm::cir
+
+#endif  // CNVM_CIR_ANALYSIS_H

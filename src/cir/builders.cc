@@ -1,0 +1,396 @@
+#include "cir/builders.h"
+
+namespace cnvm::cir {
+
+Function
+buildListInsert()
+{
+    Function f("list_insert");
+    int entry = f.addBlock("entry");
+
+    ValueId lst = emitArg(f, entry, "lst");
+    ValueId vbuf = emitArg(f, entry, "v");
+
+    ValueId n = emitMalloc(f, entry, "n");
+    ValueId nVal = emitGep(f, entry, n, 0, "n.val");
+    ValueId v0 = emitLoad(f, entry, vbuf, "v[0]");
+    emitStore(f, entry, nVal, v0, "n.val = v");
+
+    ValueId hdPtr = emitGep(f, entry, lst, 8, "lst.hd");
+    ValueId hd = emitLoad(f, entry, hdPtr, "old head");
+    ValueId nNxt = emitGep(f, entry, n, 8, "n.nxt");
+    emitStore(f, entry, nNxt, hd, "n.nxt = hd");
+    emitStore(f, entry, hdPtr, n, "lst.hd = n (clobber)");
+    return f;
+}
+
+Function
+buildHashmapInsert()
+{
+    Function f("hashmap_insert");
+    int entry = f.addBlock("entry");
+    int loop = f.addBlock("chain_walk");
+    int insert = f.addBlock("prepend");
+    f.addEdge(entry, loop);
+    f.addEdge(loop, loop);
+    f.addEdge(loop, insert);
+
+    ValueId map = emitArg(f, entry, "map");
+    ValueId key = emitArg(f, entry, "key");
+    // Bucket chosen by hash: unknown offset into the bucket array.
+    ValueId bslot = emitGep(f, entry, map, -1, "bucket slot");
+    ValueId head = emitLoad(f, entry, bslot, "bucket head");
+
+    // Walk the chain comparing keys (reads only).
+    ValueId curKeyPtr = emitGep(f, loop, head, 0, "cur.key");
+    ValueId curKey = emitLoad(f, loop, curKeyPtr, "cur key");
+    emitBinop(f, loop, curKey, "compare");
+    ValueId nextPtr = emitGep(f, loop, head, 8, "cur.next");
+    emitLoad(f, loop, nextPtr, "advance");
+
+    ValueId n = emitMalloc(f, insert, "n");
+    ValueId nKey = emitGep(f, insert, n, 0, "n.key");
+    emitStore(f, insert, nKey, key, "n.key = key");
+    ValueId nNext = emitGep(f, insert, n, 8, "n.next");
+    emitStore(f, insert, nNext, head, "n.next = head");
+    emitStore(f, insert, bslot, n, "bucket = n (clobber)");
+    return f;
+}
+
+Function
+buildSkiplistInsert(unsigned levels)
+{
+    Function f("skiplist_insert");
+    int entry = f.addBlock("entry");
+    int search = f.addBlock("search");
+    int splice = f.addBlock("splice");
+    f.addEdge(entry, search);
+    f.addEdge(search, search);
+    f.addEdge(search, splice);
+
+    ValueId list = emitArg(f, entry, "list");
+    emitArg(f, entry, "key");
+
+    // Search walks towers (reads only).
+    ValueId lvlPtr = emitGep(f, search, list, -1, "tower slot");
+    ValueId nxt = emitLoad(f, search, lvlPtr, "next");
+    emitBinop(f, search, nxt, "compare");
+
+    ValueId n = emitMalloc(f, splice, "n");
+    for (unsigned i = 0; i < levels; i++) {
+        auto off = static_cast<int64_t>(16 + 8 * i);
+        ValueId predSlot =
+            emitGep(f, splice, list, off, "pred.next[i]");
+        ValueId old = emitLoad(f, splice, predSlot, "old next");
+        ValueId nNext = emitGep(f, splice, n, off, "n.next[i]");
+        emitStore(f, splice, nNext, old, "n.next[i] = old");
+        emitStore(f, splice, predSlot, n,
+                  "pred.next[i] = n (clobber)");
+    }
+    // False candidates the refinement removes:
+    // 1. shadowed — the count field is written twice; the second
+    //    store must-aliases the first (dominating) one.
+    ValueId countPtr = emitGep(f, splice, list, 8, "list.count");
+    ValueId c = emitLoad(f, splice, countPtr, "count");
+    ValueId c1 = emitBinop(f, splice, c, "count+1");
+    emitStore(f, splice, countPtr, c1, "count = c+1 (clobber)");
+    emitStore(f, splice, countPtr, c1, "count fixup (shadowed)");
+    // 2. unexposed — a scratch field is written before and after a
+    //    may-aliasing read; if the late store hits the read's
+    //    location, the early (must-aliasing) store already did.
+    ValueId scratch = emitGep(f, splice, list, 0, "list.scratch");
+    emitStore(f, splice, scratch, c1, "scratch = x");
+    ValueId maybe = emitGep(f, splice, list, -1, "maybe scratch");
+    emitLoad(f, splice, maybe, "read maybe");
+    emitStore(f, splice, scratch, c, "scratch again (unexposed)");
+    return f;
+}
+
+Function
+buildRbtreeInsert()
+{
+    Function f("rbtree_insert");
+    int entry = f.addBlock("entry");
+    int descend = f.addBlock("descend");
+    int attach = f.addBlock("attach");
+    int fixup = f.addBlock("fixup");
+    int rotate = f.addBlock("rotate");
+    int done = f.addBlock("done");
+    f.addEdge(entry, descend);
+    f.addEdge(descend, descend);
+    f.addEdge(descend, attach);
+    f.addEdge(attach, fixup);
+    f.addEdge(fixup, rotate);
+    f.addEdge(fixup, done);
+    f.addEdge(rotate, fixup);
+
+    ValueId tree = emitArg(f, entry, "tree");
+    ValueId key = emitArg(f, entry, "key");
+    ValueId rootPtr = emitGep(f, entry, tree, 0, "tree.root");
+    ValueId cur = emitLoad(f, entry, rootPtr, "root");
+
+    ValueId curKeyPtr = emitGep(f, descend, cur, 0, "cur.key");
+    ValueId curKey = emitLoad(f, descend, curKeyPtr, "cur key");
+    emitBinop(f, descend, curKey, "compare");
+    ValueId childPtr = emitGep(f, descend, cur, -1, "left or right");
+    emitLoad(f, descend, childPtr, "descend");
+
+    ValueId z = emitMalloc(f, attach, "z");
+    ValueId zKey = emitGep(f, attach, z, 0, "z.key");
+    emitStore(f, attach, zKey, key, "z.key = key");
+    ValueId parentChild = emitGep(f, attach, cur, -1, "parent child");
+    emitLoad(f, attach, parentChild, "old child");
+    emitStore(f, attach, parentChild, z, "parent.child = z (clobber)");
+
+    // Fixup reads colors and rewrites them.
+    ValueId colorPtr = emitGep(f, fixup, cur, 16, "cur.color");
+    ValueId color = emitLoad(f, fixup, colorPtr, "color");
+    ValueId newColor = emitBinop(f, fixup, color, "flip");
+    emitStore(f, fixup, colorPtr, newColor, "cur.color (clobber)");
+
+    // Rotation rewires three links that the fixup read.
+    ValueId xRight = emitGep(f, rotate, cur, 8, "x.right");
+    ValueId y = emitLoad(f, rotate, xRight, "y");
+    ValueId yLeft = emitGep(f, rotate, y, 4, "y.left");
+    ValueId t2 = emitLoad(f, rotate, yLeft, "t2");
+    emitStore(f, rotate, xRight, t2, "x.right = t2 (clobber)");
+    emitStore(f, rotate, yLeft, cur, "y.left = x (clobber)");
+    // The root may be rewritten twice on the same path: the second
+    // store is unexposed/shadowed relative to the first.
+    emitStore(f, rotate, rootPtr, y, "root = y (clobber)");
+    emitStore(f, rotate, rootPtr, y, "root again (shadowed)");
+
+    emitLoad(f, done, rootPtr, "reload root");
+    return f;
+}
+
+Function
+buildBptreeInsert()
+{
+    Function f("bptree_insert");
+    int entry = f.addBlock("entry");
+    int descend = f.addBlock("descend");
+    int shift = f.addBlock("shift");
+    int place = f.addBlock("place");
+    f.addEdge(entry, descend);
+    f.addEdge(descend, descend);
+    f.addEdge(descend, shift);
+    f.addEdge(shift, shift);
+    f.addEdge(shift, place);
+
+    ValueId tree = emitArg(f, entry, "tree");
+    ValueId key = emitArg(f, entry, "key");
+    ValueId rootPtr = emitGep(f, entry, tree, 0, "tree.root");
+    ValueId node = emitLoad(f, entry, rootPtr, "root");
+
+    ValueId kidPtr = emitGep(f, descend, node, -1, "kids[i]");
+    emitLoad(f, descend, kidPtr, "child");
+
+    // Slot shifting: read keys[i], write keys[i+1] (both offsets
+    // unknown, so everything may-alias — the conservative pass
+    // instruments heavily here and refinement removes little, which
+    // is why B+Tree gains least in Figure 13).
+    ValueId slotFrom = emitGep(f, shift, node, -1, "keys[i]");
+    ValueId k = emitLoad(f, shift, slotFrom, "keys[i]");
+    ValueId slotTo = emitGep(f, shift, node, -1, "keys[i+1]");
+    emitStore(f, shift, slotTo, k, "keys[i+1] = keys[i] (clobber)");
+    ValueId valFrom = emitGep(f, shift, node, -1, "vals[i]");
+    ValueId v = emitLoad(f, shift, valFrom, "vals[i]");
+    ValueId valTo = emitGep(f, shift, node, -1, "vals[i+1]");
+    emitStore(f, shift, valTo, v, "vals[i+1] = vals[i] (clobber)");
+
+    ValueId slot = emitGep(f, place, node, -1, "keys[pos]");
+    emitStore(f, place, slot, key, "keys[pos] = key (clobber)");
+    ValueId nk = emitGep(f, place, node, 4, "node.nKeys");
+    ValueId count = emitLoad(f, place, nk, "nKeys");
+    ValueId count1 = emitBinop(f, place, count, "nKeys+1");
+    emitStore(f, place, nk, count1, "nKeys = n+1 (clobber)");
+    return f;
+}
+
+Function
+buildMemcachedSet()
+{
+    Function f("memcached_set");
+    int entry = f.addBlock("entry");
+    int walk = f.addBlock("lookup");
+    int update = f.addBlock("update_in_place");
+    int prepend = f.addBlock("prepend");
+    int done = f.addBlock("done");
+    f.addEdge(entry, walk);
+    f.addEdge(walk, walk);
+    f.addEdge(walk, update);
+    f.addEdge(walk, prepend);
+    f.addEdge(update, done);
+    f.addEdge(prepend, done);
+
+    ValueId store = emitArg(f, entry, "store");
+    ValueId key = emitArg(f, entry, "key");
+    ValueId val = emitArg(f, entry, "value");
+    ValueId bslot = emitGep(f, entry, store, -1, "bucket");
+    ValueId head = emitLoad(f, entry, bslot, "head");
+
+    ValueId itKey = emitGep(f, walk, head, 0, "item.key");
+    ValueId k = emitLoad(f, walk, itKey, "key bytes");
+    emitBinop(f, walk, k, "memcmp");
+    ValueId itNext = emitGep(f, walk, head, 8, "item.next");
+    emitLoad(f, walk, itNext, "next item");
+
+    // In-place update: value bytes + version (read-modify-write).
+    ValueId itVal = emitGep(f, update, head, 24, "item.value");
+    emitLoad(f, update, itVal, "old value");
+    emitStore(f, update, itVal, val, "item.value (clobber)");
+    ValueId verPtr = emitGep(f, update, head, 16, "item.version");
+    ValueId ver = emitLoad(f, update, verPtr, "version");
+    ValueId ver1 = emitBinop(f, update, ver, "version+1");
+    emitStore(f, update, verPtr, ver1, "item.version (clobber)");
+
+    // Prepend path: fresh item, bucket head is the clobbered input.
+    ValueId n = emitMalloc(f, prepend, "item");
+    ValueId nKey = emitGep(f, prepend, n, 0, "item.key");
+    emitStore(f, prepend, nKey, key, "fresh key");
+    ValueId nVal = emitGep(f, prepend, n, 24, "item.value");
+    emitStore(f, prepend, nVal, val, "fresh value");
+    ValueId nNext = emitGep(f, prepend, n, 8, "item.next");
+    emitStore(f, prepend, nNext, head, "item.next = head");
+    emitStore(f, prepend, bslot, n, "bucket = item (clobber)");
+    // The stats counter is bumped twice on this path (hit + write):
+    // the second bump is shadowed by the first.
+    ValueId statPtr = emitGep(f, prepend, store, 8, "stats.writes");
+    ValueId sc = emitLoad(f, prepend, statPtr, "stat");
+    ValueId sc1 = emitBinop(f, prepend, sc, "stat+1");
+    emitStore(f, prepend, statPtr, sc1, "stats (clobber)");
+    emitStore(f, prepend, statPtr, sc1, "stats again (shadowed)");
+
+    emitLoad(f, done, bslot, "reload");
+    return f;
+}
+
+Function
+buildVacationReserve(unsigned queries)
+{
+    Function f("vacation_reserve");
+    int entry = f.addBlock("entry");
+    f.addBlock("queries");  // placeholder index continuity
+    int q0 = 1;
+    // One block per query iteration (statically unrolled).
+    std::vector<int> qb;
+    qb.push_back(q0);
+    for (unsigned i = 1; i < queries; i++)
+        qb.push_back(f.addBlock("query"));
+    int reserve = f.addBlock("reserve");
+    f.addEdge(entry, qb[0]);
+    for (unsigned i = 0; i + 1 < queries; i++)
+        f.addEdge(qb[i], qb[i + 1]);
+    f.addEdge(qb[queries - 1], reserve);
+
+    ValueId mgr = emitArg(f, entry, "manager");
+    emitArg(f, entry, "customer");
+
+    // Each query descends a table (reads only).
+    for (unsigned i = 0; i < queries; i++) {
+        ValueId tbl = emitGep(f, qb[i], mgr, -1, "table node");
+        ValueId item = emitLoad(f, qb[i], tbl, "item");
+        ValueId pricePtr = emitGep(f, qb[i], item, 16, "item.price");
+        ValueId price = emitLoad(f, qb[i], pricePtr, "price");
+        emitBinop(f, qb[i], price, "max");
+    }
+
+    // Reserve: used++, prepend reservation to the customer list.
+    ValueId itemPtr = emitGep(f, reserve, mgr, -1, "best item");
+    ValueId item = emitLoad(f, reserve, itemPtr, "item");
+    ValueId usedPtr = emitGep(f, reserve, item, 8, "item.used");
+    ValueId used = emitLoad(f, reserve, usedPtr, "used");
+    ValueId used1 = emitBinop(f, reserve, used, "used+1");
+    emitStore(f, reserve, usedPtr, used1, "item.used (clobber)");
+
+    ValueId resv = emitMalloc(f, reserve, "reservation");
+    ValueId rid = emitGep(f, reserve, resv, 0, "resv.id");
+    emitStore(f, reserve, rid, used1, "resv.id");
+    ValueId custList = emitGep(f, reserve, mgr, 24, "cust.resv");
+    ValueId oldList = emitLoad(f, reserve, custList, "old list");
+    ValueId rNext = emitGep(f, reserve, resv, 8, "resv.next");
+    emitStore(f, reserve, rNext, oldList, "resv.next = old");
+    emitStore(f, reserve, custList, resv, "cust.resv (clobber)");
+    return f;
+}
+
+Function
+buildYadaStep()
+{
+    Function f("yada_step");
+    int entry = f.addBlock("pop");
+    int cavity = f.addBlock("cavity_walk");
+    int retri = f.addBlock("retriangulate");
+    int wire = f.addBlock("wire");
+    f.addEdge(entry, cavity);
+    f.addEdge(cavity, cavity);
+    f.addEdge(cavity, retri);
+    f.addEdge(retri, wire);
+    f.addEdge(wire, wire);
+
+    ValueId mesh = emitArg(f, entry, "mesh");
+    ValueId headPtr = emitGep(f, entry, mesh, 0, "queue head");
+    ValueId tri = emitLoad(f, entry, headPtr, "bad triangle");
+    ValueId qnextPtr = emitGep(f, entry, tri, 32, "tri.qnext");
+    ValueId qnext = emitLoad(f, entry, qnextPtr, "next in queue");
+    emitStore(f, entry, headPtr, qnext, "queue head (clobber)");
+
+    // Cavity walk: geometry reads + alive-flag clears.
+    ValueId nbrPtr = emitGep(f, cavity, tri, -1, "tri.nbr[i]");
+    ValueId nbr = emitLoad(f, cavity, nbrPtr, "neighbor");
+    ValueId vPtr = emitGep(f, cavity, nbr, 0, "nbr vertices");
+    ValueId v = emitLoad(f, cavity, vPtr, "vertex");
+    emitBinop(f, cavity, v, "inCircle");
+    ValueId alivePtr = emitGep(f, cavity, nbr, 12, "nbr.alive");
+    emitLoad(f, cavity, alivePtr, "alive");
+    emitStore(f, cavity, alivePtr, v, "nbr.alive = 0 (clobber)");
+
+    // New triangles are fresh.
+    ValueId nt = emitMalloc(f, retri, "new tri");
+    ValueId ntV = emitGep(f, retri, nt, 0, "new verts");
+    emitStore(f, retri, ntV, v, "fresh verts");
+    ValueId cntPtr = emitGep(f, retri, mesh, 8, "mesh.alive count");
+    ValueId cnt = emitLoad(f, retri, cntPtr, "count");
+    ValueId cnt1 = emitBinop(f, retri, cnt, "count+new");
+    emitStore(f, retri, cntPtr, cnt1, "mesh.count (clobber)");
+    // Count adjusted a second time after wiring (shadowed).
+    emitStore(f, retri, cntPtr, cnt1, "count fixup (shadowed)");
+
+    // Wiring rewires external neighbors' back pointers.
+    ValueId extPtr = emitGep(f, wire, nbr, -1, "ext.nbr[j]");
+    emitLoad(f, wire, extPtr, "old back pointer");
+    emitStore(f, wire, extPtr, nt, "ext.nbr[j] = new (clobber)");
+    return f;
+}
+
+std::vector<IrModule>
+benchmarkModules(unsigned scale)
+{
+    std::vector<IrModule> mods;
+    auto add = [&](const char* name, std::vector<Function> fns,
+                   unsigned copies) {
+        IrModule m{name, {}};
+        for (unsigned c = 0; c < copies * scale; c++) {
+            for (const auto& fn : fns)
+                m.functions.push_back(fn);
+        }
+        mods.push_back(std::move(m));
+    };
+    // Data-structure benchmarks: only the pmem-access files are
+    // compiled with the Clobber-NVM compiler (paper Section 5.10).
+    add("bptree", {buildBptreeInsert()}, 2);
+    add("hashmap", {buildHashmapInsert(), buildListInsert()}, 2);
+    add("rbtree", {buildRbtreeInsert()}, 2);
+    add("skiplist", {buildSkiplistInsert()}, 2);
+    // Applications compile many more files through the pass.
+    add("memcached",
+        {buildMemcachedSet(), buildHashmapInsert(), buildListInsert()},
+        8);
+    add("vacation",
+        {buildVacationReserve(), buildRbtreeInsert()}, 5);
+    add("yada", {buildYadaStep(), buildBptreeInsert()}, 5);
+    return mods;
+}
+
+}  // namespace cnvm::cir

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Mini-IR encodings of the benchmark transactions.
+ *
+ * The paper runs its compiler passes over the real C sources of the
+ * four data structures and three applications; here each workload's
+ * transaction bodies are encoded as cir functions with the same
+ * memory-access structure (what the analysis consumes), so Figures 13
+ * and 14 can replay the pass per workload.
+ */
+#ifndef CNVM_CIR_BUILDERS_H
+#define CNVM_CIR_BUILDERS_H
+
+#include <vector>
+
+#include "cir/ir.h"
+
+namespace cnvm::cir {
+
+/** A compilation unit: one workload's transaction functions. */
+struct IrModule {
+    std::string name;
+    std::vector<Function> functions;
+};
+
+/** Figure 2a's list insert (1 clobber site: the head pointer). */
+Function buildListInsert();
+
+/** Hashmap insert: bucket search loop + head prepend. */
+Function buildHashmapInsert();
+
+/**
+ * Skiplist insert with `levels` statically-known tower levels: one
+ * genuine clobber per level plus removable false candidates (the
+ * paper reports 2 of 5 candidates removed, leaving 3 logged).
+ */
+Function buildSkiplistInsert(unsigned levels = 3);
+
+/** RB-tree insert with a rotation: unexposed false candidates. */
+Function buildRbtreeInsert();
+
+/** B+Tree leaf insert: slot-shift loop with unknown offsets. */
+Function buildBptreeInsert();
+
+/** memcached set: lookup loop + in-place update / prepend branches. */
+Function buildMemcachedSet();
+
+/** vacation reservation: q query iterations + reserve updates. */
+Function buildVacationReserve(unsigned queries = 4);
+
+/** yada refinement step: cavity loop + retriangulation stores. */
+Function buildYadaStep();
+
+/**
+ * The seven benchmark modules (bptree/hashmap/rbtree/skiplist +
+ * memcached/vacation/yada). `scale` replicates the functions to model
+ * larger compilation units (memcached compiles its whole project with
+ * the Clobber-NVM compiler — paper Section 5.10).
+ */
+std::vector<IrModule> benchmarkModules(unsigned scale = 1);
+
+}  // namespace cnvm::cir
+
+#endif  // CNVM_CIR_BUILDERS_H

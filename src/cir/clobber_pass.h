@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The clobber-write identification pass (paper Section 4.4).
+ *
+ * Step 1 — candidate input reads: every load not dominated by a
+ * must-aliasing store (Figure 4, left).
+ *
+ * Step 2 — candidate clobber writes: for each candidate read, every
+ * store that may execute after it and may alias it (Figure 4, right).
+ *
+ * Refinement — dependency-analysis propagation removing two classes
+ * of false candidates (Figure 5):
+ *  - *unexposed*: a store W dominating the read must-aliases the
+ *    candidate write S — if S ever overwrote the read's location, W
+ *    already wrote it first, so the read was never an input;
+ *  - *shadowed*: an earlier candidate clobber write W dominates S and
+ *    the alias relations guarantee that whenever S clobbers the
+ *    input, W has already clobbered (and logged) it.
+ *
+ * A store site is instrumented (gets a clobber_log callback) iff it
+ * survives in at least one (read, write) pair.
+ */
+#ifndef CNVM_CIR_CLOBBER_PASS_H
+#define CNVM_CIR_CLOBBER_PASS_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cir/analysis.h"
+#include "cir/ir.h"
+
+namespace cnvm::cir {
+
+struct ClobberResult {
+    std::vector<InstrRef> candidateReads;
+    /** (input read, clobber write) pairs before refinement. */
+    std::vector<std::pair<InstrRef, InstrRef>> conservativePairs;
+    /** Pairs surviving refinement. */
+    std::vector<std::pair<InstrRef, InstrRef>> refinedPairs;
+    /** Unique store sites to instrument (pre / post refinement). */
+    std::vector<InstrRef> conservativeSites;
+    std::vector<InstrRef> refinedSites;
+    int removedUnexposed = 0;
+    int removedShadowed = 0;
+
+    /** Human-readable summary (for the bench/report output). */
+    std::string summary(const Function& f) const;
+};
+
+/** Run the full pass (conservative identification + refinement). */
+ClobberResult analyzeClobbers(const Function& f);
+
+/**
+ * The instrumentation baseline: walk the function once, as a plain
+ * compile pipeline would. Used to measure the pass's compile-time
+ * overhead (Figure 14).
+ * @return an opaque checksum so the walk cannot be optimized away.
+ */
+uint64_t baselineTraversal(const Function& f);
+
+}  // namespace cnvm::cir
+
+#endif  // CNVM_CIR_CLOBBER_PASS_H

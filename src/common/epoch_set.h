@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Open-addressing hash set of uint64 keys with O(1) clear.
+ *
+ * The runtimes track per-transaction read sets, write sets, and dirty
+ * cache-line sets; transactions are short and frequent, so clearing must
+ * not touch every bucket. Buckets carry an epoch tag: bumping the epoch
+ * empties the set.
+ */
+#ifndef CNVM_COMMON_EPOCH_SET_H
+#define CNVM_COMMON_EPOCH_SET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cnvm {
+
+class EpochSet {
+ public:
+    explicit EpochSet(size_t initialCapacity = 1024)
+    {
+        size_t cap = 16;
+        while (cap < initialCapacity)
+            cap <<= 1;
+        buckets_.resize(cap);
+    }
+
+    /** Insert `key`. @return true iff newly inserted. @pre key != 0. */
+    bool
+    insert(uint64_t key)
+    {
+        CNVM_CHECK(key != 0, "EpochSet cannot hold key 0");
+        if ((count_ + 1) * 10 > buckets_.size() * 7)
+            grow();
+        return insertNoGrow(key);
+    }
+
+    bool
+    contains(uint64_t key) const
+    {
+        size_t mask = buckets_.size() - 1;
+        size_t i = mix(key) & mask;
+        while (true) {
+            const Bucket& b = buckets_[i];
+            if (b.epoch != epoch_)
+                return false;
+            if (b.key == key)
+                return true;
+            i = (i + 1) & mask;
+        }
+    }
+
+    void
+    clear()
+    {
+        epoch_++;
+        count_ = 0;
+        if (epoch_ == 0) {
+            // Epoch wrapped: hard-reset every bucket once per 2^32
+            // clears.
+            for (auto& b : buckets_)
+                b = Bucket{};
+            epoch_ = 1;
+        }
+    }
+
+    size_t size() const { return count_; }
+
+    /** Visit every key currently in the set. */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        for (const auto& b : buckets_) {
+            if (b.epoch == epoch_)
+                fn(b.key);
+        }
+    }
+
+ private:
+    struct Bucket {
+        uint64_t key = 0;
+        uint32_t epoch = 0;
+    };
+
+    static uint64_t
+    mix(uint64_t x)
+    {
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 29;
+        return x;
+    }
+
+    bool
+    insertNoGrow(uint64_t key)
+    {
+        size_t mask = buckets_.size() - 1;
+        size_t i = mix(key) & mask;
+        while (true) {
+            Bucket& b = buckets_[i];
+            if (b.epoch != epoch_) {
+                b.key = key;
+                b.epoch = epoch_;
+                count_++;
+                return true;
+            }
+            if (b.key == key)
+                return false;
+            i = (i + 1) & mask;
+        }
+    }
+
+    void
+    grow()
+    {
+        std::vector<Bucket> old = std::move(buckets_);
+        buckets_.assign(old.size() * 2, Bucket{});
+        uint32_t oldEpoch = epoch_;
+        count_ = 0;
+        for (const auto& b : old) {
+            if (b.epoch == oldEpoch)
+                insertNoGrow(b.key);
+        }
+    }
+
+    std::vector<Bucket> buckets_;
+    uint32_t epoch_ = 1;
+    size_t count_ = 0;
+};
+
+}  // namespace cnvm
+
+#endif  // CNVM_COMMON_EPOCH_SET_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error-reporting helpers shared by every Clobber-NVM module.
+ *
+ * Follows the gem5 panic/fatal split: panic() flags an internal invariant
+ * violation (a library bug), fatal() flags a condition caused by the caller
+ * or the environment (bad configuration, unusable pool file, ...).
+ */
+#ifndef CNVM_COMMON_ERROR_H
+#define CNVM_COMMON_ERROR_H
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace cnvm {
+
+/** Exception thrown for user/environment errors (fatal()). */
+class FatalError : public std::runtime_error {
+ public:
+    explicit FatalError(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
+/** Exception thrown for internal invariant violations (panic()). */
+class PanicError : public std::logic_error {
+ public:
+    explicit PanicError(const std::string& what)
+        : std::logic_error(what) {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/environment error. Throws FatalError. */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Report an internal bug. Throws PanicError. */
+[[noreturn]] void panic(const std::string& msg);
+
+}  // namespace cnvm
+
+/** Assert an internal invariant; cheap enough to keep in release builds. */
+#define CNVM_CHECK(cond, msg)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::cnvm::panic(::cnvm::strprintf(                            \
+                "%s:%d: check failed: %s (%s)", __FILE__, __LINE__,     \
+                #cond, (msg)));                                         \
+        }                                                               \
+    } while (0)
+
+#endif  // CNVM_COMMON_ERROR_H

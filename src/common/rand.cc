@@ -1,0 +1,62 @@
+#include "common/rand.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace cnvm {
+
+Zipfian::Zipfian(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed)
+{
+    CNVM_CHECK(n > 0, "zipfian needs a non-empty key space");
+    zetan_ = zeta(n, theta);
+    double zeta2 = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+double
+Zipfian::zeta(uint64_t n, double theta)
+{
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+uint64_t
+Zipfian::nextRank()
+{
+    double u = rng_.nextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto rank = static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+uint64_t
+Zipfian::next()
+{
+    return mixHash(nextRank()) % n_;
+}
+
+uint64_t
+fnv1a(const void* data, size_t len)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < len; i++) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace cnvm

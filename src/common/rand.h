@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation used across benchmarks,
+ * workload generators, and the crash-injection machinery.
+ *
+ * All randomness in the repository flows through Xorshift so experiments
+ * are reproducible bit-for-bit across runs.
+ */
+#ifndef CNVM_COMMON_RAND_H
+#define CNVM_COMMON_RAND_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cnvm {
+
+/** xorshift128+ generator: fast, seedable, deterministic. */
+class Xorshift {
+ public:
+    explicit Xorshift(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // splitmix64 seeding avoids degenerate all-zero states.
+        state0_ = splitmix(seed);
+        state1_ = splitmix(seed + 1);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t s1 = state0_;
+        const uint64_t s0 = state1_;
+        state0_ = s0;
+        s1 ^= s1 << 23;
+        state1_ = s1 ^ s0 ^ (s1 >> 17) ^ (s0 >> 26);
+        return state1_ + s0;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t
+    nextUint(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+ private:
+    static uint64_t
+    splitmix(uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    uint64_t state0_;
+    uint64_t state1_;
+};
+
+/**
+ * Zipfian key chooser over [0, n), as used by YCSB.
+ *
+ * Implements the Gray et al. rejection-free method YCSB uses, so hot keys
+ * match the reference generator's distribution.
+ */
+class Zipfian {
+ public:
+    Zipfian(uint64_t n, double theta = 0.99, uint64_t seed = 1);
+
+    /** Next key in [0, n), scrambled so hot keys are spread out. */
+    uint64_t next();
+
+    /** Next key without scrambling (rank 0 is the hottest). */
+    uint64_t nextRank();
+
+ private:
+    static double zeta(uint64_t n, double theta);
+
+    uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    Xorshift rng_;
+};
+
+/** 64-bit finalizer-style hash (used for key scrambling / bucket choice). */
+inline uint64_t
+mixHash(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** FNV-1a hash over raw bytes. */
+uint64_t fnv1a(const void* data, size_t len);
+
+}  // namespace cnvm
+
+#endif  // CNVM_COMMON_RAND_H

@@ -1,0 +1,127 @@
+#include "nvm/cache_sim.h"
+
+#include <cstring>
+
+#include "nvm/hooks.h"
+#include "stats/counters.h"
+
+namespace cnvm::nvm {
+
+void
+CacheSim::willWrite(uint64_t off, size_t len)
+{
+    if (len == 0)
+        return;
+    uint64_t first = off / kCacheLine;
+    uint64_t last = (off + len - 1) / kCacheLine;
+    std::lock_guard<std::mutex> g(mu_);
+    for (uint64_t ln = first; ln <= last; ln++) {
+        auto [it, inserted] = lines_.try_emplace(ln);
+        if (inserted) {
+            std::memcpy(it->second.snapshot.data(),
+                        base_ + ln * kCacheLine, kCacheLine);
+        } else if (it->second.pending) {
+            // A new store re-dirties a clwb'd line; the flushed content
+            // is the new durable floor, so refresh the snapshot only if
+            // the line had already been made durable (it had not: clwb
+            // without a fence gives no guarantee). Keep the original
+            // snapshot and fall back to the dirty state.
+            it->second.pending = false;
+        }
+    }
+}
+
+void
+CacheSim::flush(uint64_t off, size_t len)
+{
+    if (len == 0)
+        return;
+    uint64_t first = off / kCacheLine;
+    uint64_t last = (off + len - 1) / kCacheLine;
+    uint64_t nlines = last - first + 1;
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        for (uint64_t ln = first; ln <= last; ln++) {
+            auto it = lines_.find(ln);
+            if (it != lines_.end() && !it->second.pending) {
+                it->second.pending = true;
+                pending_.push_back(ln);
+            }
+        }
+    }
+    stats::bump(stats::Counter::flushes, nlines);
+    if (auto* obs = persistObserver())
+        obs->flushed(nlines * kCacheLine);
+}
+
+void
+CacheSim::fence()
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        for (uint64_t ln : pending_) {
+            auto it = lines_.find(ln);
+            if (it != lines_.end() && it->second.pending)
+                lines_.erase(it);
+        }
+        pending_.clear();
+    }
+    stats::bump(stats::Counter::fences);
+    if (auto* obs = persistObserver())
+        obs->fenced();
+}
+
+size_t
+CacheSim::crashImpl(Xorshift* rng, const CrashParams& p)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    size_t reverted = 0;
+    for (auto& [ln, line] : lines_) {
+        uint8_t* mem = base_ + ln * kCacheLine;
+        double survival = line.pending ? p.pendingSurvival
+                                       : p.dirtySurvival;
+        for (size_t w = 0; w < kCacheLine; w += 8) {
+            bool survives = rng != nullptr && rng->nextBool(survival);
+            if (!survives) {
+                if (std::memcmp(mem + w, line.snapshot.data() + w, 8)
+                        != 0) {
+                    std::memcpy(mem + w, line.snapshot.data() + w, 8);
+                    reverted++;
+                }
+            }
+        }
+    }
+    lines_.clear();
+    pending_.clear();
+    return reverted;
+}
+
+size_t
+CacheSim::crash(Xorshift& rng, const CrashParams& p)
+{
+    return crashImpl(&rng, p);
+}
+
+size_t
+CacheSim::crashAllLost()
+{
+    CrashParams p;
+    return crashImpl(nullptr, p);
+}
+
+size_t
+CacheSim::volatileLines() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return lines_.size();
+}
+
+void
+CacheSim::discardAll()
+{
+    std::lock_guard<std::mutex> g(mu_);
+    lines_.clear();
+    pending_.clear();
+}
+
+}  // namespace cnvm::nvm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Software model of the volatile write-back cache in front of NVM.
+ *
+ * The paper's machine model (Section 2.1): stores land in volatile
+ * caches; a line only becomes durable once flushed (clwb) and ordered
+ * (sfence), or when the hardware happens to evict it. On power loss,
+ * unflushed lines are lost and writes may persist out of program order.
+ *
+ * This class reproduces exactly that hazard in software so crash tests
+ * are meaningful on a DRAM host:
+ *
+ *  - willWrite() snapshots a line's last-durable content the first time
+ *    it is dirtied;
+ *  - flush() moves a line to the "pending" state (clwb issued);
+ *  - fence() makes pending lines durable (snapshots dropped);
+ *  - crash() tears the image: every still-volatile 8-byte word either
+ *    keeps its new value (it was evicted in time) or reverts to the
+ *    snapshot (it was lost), chosen pseudo-randomly.
+ *
+ * Persistence is atomic at 8-byte granularity, matching x86 NVM
+ * guarantees, so crash() tears *within* cache lines too.
+ */
+#ifndef CNVM_NVM_CACHE_SIM_H
+#define CNVM_NVM_CACHE_SIM_H
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rand.h"
+
+namespace cnvm::nvm {
+
+constexpr size_t kCacheLine = 64;
+
+/** Crash-model knobs. */
+struct CrashParams {
+    /** Probability a dirty (never flushed) word survives the crash. */
+    double dirtySurvival = 0.5;
+    /** Probability a flushed-but-unfenced word survives the crash. */
+    double pendingSurvival = 0.75;
+};
+
+class CacheSim {
+ public:
+    explicit CacheSim(uint8_t* base) : base_(base) {}
+
+    CacheSim(const CacheSim&) = delete;
+    CacheSim& operator=(const CacheSim&) = delete;
+
+    /** Must be called immediately before mutating [off, off+len). */
+    void willWrite(uint64_t off, size_t len);
+
+    /** clwb of the lines covering [off, off+len). Counts + observes. */
+    void flush(uint64_t off, size_t len);
+
+    /** sfence: all pending lines become durable. Counts + observes. */
+    void fence();
+
+    /**
+     * Simulate a power loss: revert lost words to their last durable
+     * content. Leaves the cache model empty (all lines clean).
+     * @return number of 8-byte words that were reverted.
+     */
+    size_t crash(Xorshift& rng, const CrashParams& p = CrashParams{});
+
+    /**
+     * Worst-case power loss: every non-durable word reverts. Useful for
+     * deterministic adversarial tests.
+     */
+    size_t crashAllLost();
+
+    /** Number of lines currently dirty or pending. */
+    size_t volatileLines() const;
+
+    /** Drop all tracking without mutating memory (clean shutdown). */
+    void discardAll();
+
+ private:
+    struct Line {
+        std::array<uint8_t, kCacheLine> snapshot;
+        bool pending = false;
+    };
+
+    size_t crashImpl(Xorshift* rng, const CrashParams& p);
+
+    uint8_t* base_;
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, Line> lines_;
+    /** lines with a clwb issued since the last fence (fast fence) */
+    std::vector<uint64_t> pending_;
+};
+
+}  // namespace cnvm::nvm
+
+#endif  // CNVM_NVM_CACHE_SIM_H

@@ -1,0 +1,21 @@
+#include "nvm/hooks.h"
+
+namespace cnvm::nvm {
+
+namespace {
+thread_local PersistObserver* tlsObserver = nullptr;
+}  // namespace
+
+void
+setPersistObserver(PersistObserver* obs)
+{
+    tlsObserver = obs;
+}
+
+PersistObserver*
+persistObserver()
+{
+    return tlsObserver;
+}
+
+}  // namespace cnvm::nvm

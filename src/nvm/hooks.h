@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Observer interface connecting the NVM layer to the timing simulator.
+ *
+ * The NVM layer (cache model) reports flush/fence events; the logical-
+ * thread executor in src/sim installs a per-thread observer that converts
+ * them into simulated stall time. When no observer is installed (unit
+ * tests, real-thread mode) events are only counted.
+ */
+#ifndef CNVM_NVM_HOOKS_H
+#define CNVM_NVM_HOOKS_H
+
+#include <cstdint>
+
+namespace cnvm::nvm {
+
+/** Receives persistence events for the calling thread. */
+class PersistObserver {
+ public:
+    virtual ~PersistObserver() = default;
+    /** A cache-line flush (clwb) of `bytes` was issued. */
+    virtual void flushed(uint64_t bytes) = 0;
+    /** A store fence (sfence) was issued. */
+    virtual void fenced() = 0;
+};
+
+/** Install (or clear, with nullptr) the calling thread's observer. */
+void setPersistObserver(PersistObserver* obs);
+
+/** The calling thread's observer, or nullptr. */
+PersistObserver* persistObserver();
+
+}  // namespace cnvm::nvm
+
+#endif  // CNVM_NVM_HOOKS_H

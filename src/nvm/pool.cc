@@ -1,0 +1,237 @@
+#include "nvm/pool.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.h"
+#include "stats/counters.h"
+
+namespace cnvm::nvm {
+
+namespace {
+
+Pool* gCurrent = nullptr;
+
+uint64_t
+alignUp(uint64_t v, uint64_t a)
+{
+    return (v + a - 1) / a * a;
+}
+
+}  // namespace
+
+Pool*
+Pool::current()
+{
+    return gCurrent;
+}
+
+void
+Pool::setCurrent(Pool* p)
+{
+    gCurrent = p;
+}
+
+PoolHeader*
+Pool::mutableHeader() const
+{
+    return reinterpret_cast<PoolHeader*>(base_);
+}
+
+const PoolHeader&
+Pool::header() const
+{
+    return *mutableHeader();
+}
+
+std::unique_ptr<Pool>
+Pool::create(const PoolConfig& cfg)
+{
+    auto pool = std::unique_ptr<Pool>(new Pool());
+    void* mem = nullptr;
+    if (cfg.path.empty()) {
+        mem = ::mmap(nullptr, cfg.size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (mem == MAP_FAILED)
+            fatal("anonymous mmap failed");
+    } else {
+        int fd = ::open(cfg.path.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                        0644);
+        if (fd < 0)
+            fatal("cannot create pool file " + cfg.path);
+        if (::ftruncate(fd, static_cast<off_t>(cfg.size)) != 0) {
+            ::close(fd);
+            fatal("cannot size pool file " + cfg.path);
+        }
+        mem = ::mmap(nullptr, cfg.size, PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+        if (mem == MAP_FAILED) {
+            ::close(fd);
+            fatal("cannot map pool file " + cfg.path);
+        }
+        pool->fd_ = fd;
+    }
+    pool->base_ = static_cast<uint8_t*>(mem);
+    pool->mappedSize_ = cfg.size;
+    pool->cache_ = std::make_unique<CacheSim>(pool->base_);
+
+    uint64_t metaOff = alignUp(sizeof(PoolHeader), kCacheLine);
+    uint64_t heapOff = alignUp(
+        metaOff + static_cast<uint64_t>(cfg.maxThreads) * cfg.slotBytes,
+        4096);
+    CNVM_CHECK(heapOff + 4096 < cfg.size,
+               "pool too small for its metadata area");
+
+    PoolHeader hdr{};
+    hdr.magic = kMagic;
+    hdr.version = kVersion;
+    hdr.size = cfg.size;
+    hdr.rootOff = 0;
+    hdr.metaOff = metaOff;
+    hdr.slotBytes = cfg.slotBytes;
+    hdr.heapOff = heapOff;
+    hdr.heapSize = cfg.size - heapOff;
+    hdr.maxThreads = cfg.maxThreads;
+    hdr.runtimeId = 0;
+
+    // The fresh mapping is already zero; persist the header explicitly.
+    pool->write(pool->base_, &hdr, sizeof(hdr));
+    pool->persist(pool->base_, sizeof(hdr));
+    if (gCurrent == nullptr) {
+        gCurrent = pool.get();
+        pool->wasCurrent_ = true;
+    }
+    return pool;
+}
+
+std::unique_ptr<Pool>
+Pool::open(const std::string& path)
+{
+    int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0)
+        fatal("cannot open pool file " + path);
+    struct ::stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fatal("cannot stat pool file " + path);
+    }
+    auto size = static_cast<size_t>(st.st_size);
+    void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd, 0);
+    if (mem == MAP_FAILED) {
+        ::close(fd);
+        fatal("cannot map pool file " + path);
+    }
+    auto pool = std::unique_ptr<Pool>(new Pool());
+    pool->fd_ = fd;
+    pool->base_ = static_cast<uint8_t*>(mem);
+    pool->mappedSize_ = size;
+    pool->cache_ = std::make_unique<CacheSim>(pool->base_);
+    if (pool->header().magic != kMagic)
+        fatal("not a Clobber-NVM pool: " + path);
+    if (pool->header().version != kVersion)
+        fatal("pool version mismatch: " + path);
+    if (gCurrent == nullptr) {
+        gCurrent = pool.get();
+        pool->wasCurrent_ = true;
+    }
+    return pool;
+}
+
+Pool::~Pool()
+{
+    if (gCurrent == this)
+        gCurrent = nullptr;
+    if (base_ != nullptr)
+        ::munmap(base_, mappedSize_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Pool::write(void* dst, const void* src, size_t n)
+{
+    CNVM_CHECK(contains(dst), "write outside pool");
+    writeCount_++;
+    if (trapCountdown_ > 0 && --trapCountdown_ == 0)
+        throw CrashInjected{};
+    cache_->willWrite(offsetOf(dst), n);
+    std::memcpy(dst, src, n);
+    stats::bump(stats::Counter::nvmWrites);
+    stats::bump(stats::Counter::nvmWriteBytes, n);
+}
+
+void
+Pool::writeAt(uint64_t off, const void* src, size_t n)
+{
+    write(base_ + off, src, n);
+}
+
+void
+Pool::write64(void* dst, uint64_t v)
+{
+    write(dst, &v, sizeof(v));
+}
+
+void
+Pool::flush(const void* addr, size_t n)
+{
+    cache_->flush(offsetOf(addr), n);
+}
+
+void
+Pool::fence()
+{
+    cache_->fence();
+}
+
+void
+Pool::persist(const void* addr, size_t n)
+{
+    flush(addr, n);
+    fence();
+}
+
+void
+Pool::setRoot(uint64_t off)
+{
+    auto* h = mutableHeader();
+    write(&h->rootOff, &off, sizeof(off));
+    persist(&h->rootOff, sizeof(off));
+}
+
+void
+Pool::setAux(uint64_t off)
+{
+    auto* h = mutableHeader();
+    write(&h->auxOff, &off, sizeof(off));
+    persist(&h->auxOff, sizeof(off));
+}
+
+void
+Pool::setRuntimeId(uint32_t id)
+{
+    auto* h = mutableHeader();
+    write(&h->runtimeId, &id, sizeof(id));
+    persist(&h->runtimeId, sizeof(id));
+}
+
+void*
+Pool::slot(unsigned tid) const
+{
+    CNVM_CHECK(tid < maxThreads(), "thread slot out of range");
+    return base_ + header().metaOff + tid * header().slotBytes;
+}
+
+size_t
+Pool::simulateCrash(uint64_t seed)
+{
+    Xorshift rng(seed);
+    return cache_->crash(rng);
+}
+
+}  // namespace cnvm::nvm

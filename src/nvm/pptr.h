@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Relocatable persistent pointers.
+ *
+ * A PPtr<T> stores a pool offset rather than a virtual address, so
+ * persistent data structures survive the pool being remapped at a
+ * different base after a restart. Dereferencing resolves against
+ * Pool::current() — this is the library equivalent of the pointer-
+ * swizzling callbacks Clobber-NVM's second compiler pass inserts at
+ * every memory access.
+ *
+ * PPtr is trivially copyable (it is stored inside NVM objects and in
+ * transaction argument blobs).
+ */
+#ifndef CNVM_NVM_PPTR_H
+#define CNVM_NVM_PPTR_H
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "nvm/pool.h"
+
+namespace cnvm::nvm {
+
+template <typename T>
+class PPtr {
+ public:
+    PPtr() : off_(0) {}
+    explicit PPtr(uint64_t off) : off_(off) {}
+
+    /** Make a PPtr from a live pointer into the current pool. */
+    static PPtr
+    of(const T* p)
+    {
+        if (p == nullptr)
+            return PPtr();
+        Pool* pool = Pool::current();
+        CNVM_CHECK(pool != nullptr && pool->contains(p),
+                   "PPtr::of target outside current pool");
+        return PPtr(pool->offsetOf(p));
+    }
+
+    uint64_t raw() const { return off_; }
+    bool isNull() const { return off_ == 0; }
+    explicit operator bool() const { return off_ != 0; }
+
+    T*
+    get() const
+    {
+        if (off_ == 0)
+            return nullptr;
+        Pool* pool = Pool::current();
+        CNVM_CHECK(pool != nullptr, "PPtr deref with no current pool");
+        return reinterpret_cast<T*>(pool->at(off_));
+    }
+
+    T* operator->() const { return get(); }
+    T& operator*() const { return *get(); }
+
+    friend bool
+    operator==(const PPtr& a, const PPtr& b)
+    {
+        return a.off_ == b.off_;
+    }
+    friend bool
+    operator!=(const PPtr& a, const PPtr& b)
+    {
+        return a.off_ != b.off_;
+    }
+
+ private:
+    uint64_t off_;
+};
+
+static_assert(sizeof(PPtr<int>) == 8, "PPtr must stay pointer-sized");
+
+}  // namespace cnvm::nvm
+
+#endif  // CNVM_NVM_PPTR_H

@@ -1,0 +1,418 @@
+#include "runtimes/base.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/rand.h"
+#include "nvm/cache_sim.h"
+#include "stats/counters.h"
+
+namespace cnvm::rt {
+
+namespace {
+
+uint64_t
+entryChecksum(const LogEntryHeader& h, const uint8_t* data)
+{
+    uint64_t sum = fnv1a(&h.targetOff, sizeof(h.targetOff));
+    sum ^= fnv1a(&h.len, sizeof(h.len));
+    sum ^= fnv1a(&h.seqLo, sizeof(h.seqLo));
+    sum ^= fnv1a(data, h.len);
+    // A zero checksum would look like freshly-zeroed media.
+    return sum == 0 ? 1 : sum;
+}
+
+size_t
+alignUp8(size_t n)
+{
+    return (n + 7) / 8 * 8;
+}
+
+uint64_t
+intentChecksum(uint64_t seq, uint32_t count, const AllocIntent* table)
+{
+    uint64_t sum = fnv1a(&seq, sizeof(seq));
+    sum ^= fnv1a(&count, sizeof(count));
+    sum ^= fnv1a(table, count * sizeof(AllocIntent));
+    return sum == 0 ? 1 : sum;
+}
+
+}  // namespace
+
+RuntimeBase::RuntimeBase(nvm::Pool& pool, alloc::PmAllocator& heap)
+    : pool_(pool), heap_(heap), slots_(pool.maxThreads())
+{
+    CNVM_CHECK(pool.slotBytes() > logAreaOffset() + 4096,
+               "pool slots too small for descriptor + log area");
+}
+
+TxDescriptor&
+RuntimeBase::desc(unsigned tid)
+{
+    return *static_cast<TxDescriptor*>(pool_.slot(tid));
+}
+
+const TxDescriptor&
+RuntimeBase::desc(unsigned tid) const
+{
+    return *static_cast<const TxDescriptor*>(pool_.slot(tid));
+}
+
+uint8_t*
+RuntimeBase::logArea(unsigned tid)
+{
+    return static_cast<uint8_t*>(pool_.slot(tid)) + logAreaOffset();
+}
+
+size_t
+RuntimeBase::logCapacity() const
+{
+    return pool_.slotBytes() - logAreaOffset();
+}
+
+RuntimeBase::SlotState&
+RuntimeBase::slot(unsigned tid)
+{
+    CNVM_CHECK(tid < slots_.size(), "tid out of range");
+    return slots_[tid];
+}
+
+std::span<const uint8_t>
+RuntimeBase::argBlob(unsigned tid) const
+{
+    const auto& s = slots_[tid];
+    return {s.volatileArgs.data(), s.volatileArgs.size()};
+}
+
+void
+RuntimeBase::writeDirty(unsigned tid, void* dst, const void* src,
+                        size_t n)
+{
+    pool_.write(dst, src, n);
+    SlotState& s = slot(tid);
+    uint64_t off = pool_.offsetOf(dst);
+    uint64_t first = off / nvm::kCacheLine;
+    uint64_t last = (off + (n == 0 ? 0 : n - 1)) / nvm::kCacheLine;
+    for (uint64_t ln = first; ln <= last; ln++)
+        s.dirtyLines.insert(ln + 1);  // +1: EpochSet forbids key 0
+}
+
+void
+RuntimeBase::flushDirty(unsigned tid)
+{
+    SlotState& s = slot(tid);
+    s.dirtyLines.forEach([&](uint64_t lnPlus1) {
+        pool_.flush(pool_.at((lnPlus1 - 1) * nvm::kCacheLine),
+                    nvm::kCacheLine);
+    });
+    s.dirtyLines.clear();
+}
+
+void
+RuntimeBase::appendLogEntry(unsigned tid, uint64_t targetOff,
+                            const void* payload, uint32_t len,
+                            bool fenceAfter)
+{
+    CNVM_CHECK(len > 0, "empty log entry");
+    SlotState& s = slot(tid);
+    size_t need = sizeof(LogEntryHeader) + alignUp8(len);
+    if (s.logTail + need > logCapacity())
+        fatal("transaction log overflow: transaction too large for "
+              "the per-thread log area");
+    LogEntryHeader h{};
+    h.targetOff = targetOff;
+    h.len = len;
+    h.seqLo = static_cast<uint32_t>(desc(tid).txSeq);
+    h.checksum = entryChecksum(h, static_cast<const uint8_t*>(payload));
+    uint8_t* dst = logArea(tid) + s.logTail;
+    pool_.write(dst, &h, sizeof(h));
+    pool_.write(dst + sizeof(h), payload, len);
+    pool_.flush(dst, need);
+    if (fenceAfter)
+        pool_.fence();
+    s.logTail += need;
+}
+
+std::vector<RuntimeBase::ScannedEntry>
+RuntimeBase::scanLog(unsigned tid)
+{
+    std::vector<ScannedEntry> out;
+    const uint8_t* area = logArea(tid);
+    size_t cap = logCapacity();
+    size_t pos = 0;
+    auto seqLo = static_cast<uint32_t>(desc(tid).txSeq);
+    while (pos + sizeof(LogEntryHeader) <= cap) {
+        LogEntryHeader h;
+        std::memcpy(&h, area + pos, sizeof(h));
+        if (h.len == 0 || h.seqLo != seqLo)
+            break;
+        size_t need = sizeof(LogEntryHeader) + alignUp8(h.len);
+        if (pos + need > cap)
+            break;
+        const uint8_t* data = area + pos + sizeof(LogEntryHeader);
+        if (entryChecksum(h, data) != h.checksum)
+            break;
+        out.push_back(ScannedEntry{h.targetOff, h.len, data});
+        pos += need;
+    }
+    return out;
+}
+
+uint64_t
+RuntimeBase::beginChecksum(unsigned tid) const
+{
+    const TxDescriptor& d = desc(tid);
+    uint64_t sum = fnv1a(&d.txSeq, sizeof(d.txSeq));
+    sum ^= fnv1a(&d.fid, sizeof(d.fid));
+    sum ^= fnv1a(&d.argLen, sizeof(d.argLen));
+    if (d.argLen > 0 && d.argLen <= kMaxArgBytes)
+        sum ^= fnv1a(d.args, d.argLen);
+    return sum == 0 ? 1 : sum;
+}
+
+bool
+RuntimeBase::isOngoing(unsigned tid) const
+{
+    const TxDescriptor& d = desc(tid);
+    if (d.status != static_cast<uint64_t>(TxStatus::ongoing))
+        return false;
+    if (d.argLen > kMaxArgBytes)
+        return false;
+    return beginChecksum(tid) == d.beginSum;
+}
+
+void
+RuntimeBase::persistBegin(unsigned tid, txn::FuncId fid,
+                          std::span<const uint8_t> args,
+                          bool persistArgs)
+{
+    TxDescriptor& d = desc(tid);
+    uint64_t seq = d.txSeq + 1;
+    auto status = static_cast<uint64_t>(TxStatus::ongoing);
+    auto argLen =
+        static_cast<uint32_t>(persistArgs ? args.size() : 0);
+    CNVM_CHECK(argLen <= kMaxArgBytes,
+               "transaction argument blob too large");
+    pool_.write(&d.status, &status, sizeof(status));
+    pool_.write(&d.txSeq, &seq, sizeof(seq));
+    pool_.write(&d.fid, &fid, sizeof(fid));
+    pool_.write(&d.argLen, &argLen, sizeof(argLen));
+    if (argLen > 0)
+        pool_.write(d.args, args.data(), args.size());
+    uint64_t sum = beginChecksum(tid);
+    pool_.write(&d.beginSum, &sum, sizeof(sum));
+    size_t persistBytes = offsetof(TxDescriptor, args) + argLen;
+    if (persistArgs) {
+        stats::bump(stats::Counter::vlogEntries);
+        stats::bump(stats::Counter::vlogBytes,
+                    sizeof(uint64_t) * 2 + sizeof(uint32_t) * 2 +
+                        args.size());
+    }
+    pool_.flush(&d, persistBytes);
+    pool_.fence();
+}
+
+void
+RuntimeBase::persistIntentsAndAllocs(unsigned tid)
+{
+    SlotState& s = slot(tid);
+    if (s.actions.empty())
+        return;
+    CNVM_CHECK(s.actions.size() <= kMaxIntents,
+               "too many allocation actions in one transaction");
+    TxDescriptor& d = desc(tid);
+    std::vector<AllocIntent> table;
+    table.reserve(s.actions.size());
+    for (const auto& [off, isFree] : s.actions) {
+        AllocIntent in{};
+        in.payloadOff = off;
+        in.payloadBytes = heap_.payloadSize(off);
+        in.isFree = isFree ? 1 : 0;
+        table.push_back(in);
+    }
+    auto count = static_cast<uint32_t>(table.size());
+    uint64_t sum = intentChecksum(d.txSeq, count, table.data());
+    pool_.write(&d.intentSeq, &d.txSeq, sizeof(d.txSeq));
+    pool_.write(&d.intentCount, &count, sizeof(count));
+    pool_.write(&d.intentSum, &sum, sizeof(sum));
+    pool_.write(d.intents, table.data(),
+                table.size() * sizeof(AllocIntent));
+    pool_.flush(&d.intentSeq,
+                offsetof(TxDescriptor, intents) -
+                    offsetof(TxDescriptor, intentSeq) +
+                    table.size() * sizeof(AllocIntent));
+    pool_.fence();
+    for (const auto& [off, isFree] : s.actions) {
+        if (!isFree)
+            heap_.persistAllocate(off);
+    }
+}
+
+void
+RuntimeBase::finishIntentsAfterCommit(unsigned tid)
+{
+    SlotState& s = slot(tid);
+    if (s.actions.empty())
+        return;
+    bool anyFree = false;
+    for (const auto& [off, isFree] : s.actions) {
+        if (isFree) {
+            heap_.persistFree(off);
+            anyFree = true;
+        }
+    }
+    TxDescriptor& d = desc(tid);
+    uint32_t zero = 0;
+    pool_.write(&d.intentCount, &zero, sizeof(zero));
+    pool_.flush(&d.intentCount, sizeof(zero));
+    if (anyFree)
+        pool_.fence();
+    // Without frees the cleared count may persist lazily: recovering
+    // with a stale live table on an idle slot only re-runs the
+    // (idempotent) free-completion path, which is then empty.
+}
+
+bool
+RuntimeBase::hasLiveIntents(unsigned tid) const
+{
+    const TxDescriptor& d = desc(tid);
+    if (d.intentSeq != d.txSeq || d.intentCount == 0 ||
+        d.intentCount > kMaxIntents) {
+        return false;
+    }
+    return intentChecksum(d.intentSeq, d.intentCount, d.intents) ==
+           d.intentSum;
+}
+
+void
+RuntimeBase::recoverIntents(unsigned tid, bool committed)
+{
+    if (!hasLiveIntents(tid))
+        return;
+    TxDescriptor& d = desc(tid);
+    for (uint32_t i = 0; i < d.intentCount; i++) {
+        const AllocIntent& in = d.intents[i];
+        if (committed) {
+            // Complete the commit: make sure allocs are marked and
+            // frees are applied.
+            heap_.revertBits(in.payloadOff, in.payloadBytes,
+                             in.isFree == 0);
+        } else if (in.isFree == 0) {
+            // Roll back: allocations revert to free; frees were never
+            // applied before the commit point, so leave them alone.
+            heap_.revertBits(in.payloadOff, in.payloadBytes, false);
+        }
+    }
+    pool_.fence();
+    uint32_t zero = 0;
+    pool_.write(&d.intentCount, &zero, sizeof(zero));
+    pool_.persist(&d.intentCount, sizeof(zero));
+}
+
+void
+RuntimeBase::reapplyAllocIntents(unsigned tid)
+{
+    if (!hasLiveIntents(tid))
+        return;
+    TxDescriptor& d = desc(tid);
+    for (uint32_t i = 0; i < d.intentCount; i++) {
+        const AllocIntent& in = d.intents[i];
+        if (in.isFree == 0)
+            heap_.revertBits(in.payloadOff, in.payloadBytes, true);
+    }
+    pool_.fence();
+}
+
+void
+RuntimeBase::persistIdle(unsigned tid)
+{
+    TxDescriptor& d = desc(tid);
+    auto status = static_cast<uint64_t>(TxStatus::idle);
+    uint64_t zeroSum = 0;
+    pool_.write(&d.status, &status, sizeof(status));
+    // Invalidate the begin record in the same flush: a later
+    // transaction's lone status write must not be able to resurrect
+    // this (committed) record (status and beginSum share a line).
+    pool_.write(&d.beginSum, &zeroSum, sizeof(zeroSum));
+    pool_.flush(&d.status,
+                offsetof(TxDescriptor, beginSum) + sizeof(zeroSum));
+    pool_.fence();
+    stats::bump(stats::Counter::txCommits);
+}
+
+void
+RuntimeBase::stageBegin(unsigned tid, txn::FuncId fid,
+                        std::span<const uint8_t> args, bool persistArgs)
+{
+    SlotState& s = slot(tid);
+    CNVM_CHECK(!s.inTx, "nested transactions are not supported");
+    s.inTx = true;
+    s.resetTx();
+    s.volatileArgs.assign(args.begin(), args.end());
+    s.pendingFid = fid;
+    s.wantArgsPersist = persistArgs;
+    stats::bump(stats::Counter::txBegins);
+    if (eagerBegin_)
+        ensureBegun(tid);
+}
+
+void
+RuntimeBase::ensureBegun(unsigned tid)
+{
+    SlotState& s = slot(tid);
+    if (!s.inTx || s.begunPersist)
+        return;
+    s.begunPersist = true;
+    persistBegin(tid, s.pendingFid,
+                 {s.volatileArgs.data(), s.volatileArgs.size()},
+                 s.wantArgsPersist);
+    beganPersistently(tid);
+}
+
+void
+RuntimeBase::initZero(unsigned tid, void* dst, size_t n)
+{
+    ensureBegun(tid);
+    static constexpr size_t kChunk = 512;
+    uint8_t zeros[kChunk] = {};
+    auto* p = static_cast<uint8_t*>(dst);
+    for (size_t i = 0; i < n; i += kChunk)
+        writeDirty(tid, p + i, zeros, std::min(kChunk, n - i));
+}
+
+uint64_t
+RuntimeBase::alloc(unsigned tid, size_t n)
+{
+    ensureBegun(tid);
+    SlotState& s = slot(tid);
+    uint64_t off = heap_.reserve(n);
+    s.actions.emplace_back(off, false);
+    // Fresh memory is not a transaction input: pre-mark its blocks as
+    // written so no runtime ever logs stores into it (PMDK does not
+    // undo-log TX_NEW'd objects either).
+    size_t payload = heap_.payloadSize(off);
+    uint64_t first = off / kBlock;
+    uint64_t last = (off + payload - 1) / kBlock;
+    for (uint64_t b = first; b <= last; b++) {
+        s.writeSet.insert(b);
+        s.regionWriteSet.insert(b);
+    }
+    // Note: fresh blocks are deliberately NOT added to loggedBlocks.
+    // The paper's PMDK baseline (Figure 2b) TX_ADDs freshly allocated
+    // fields before writing them, so the undo model logs them too —
+    // that asymmetry is a real part of clobber logging's advantage.
+    return off;
+}
+
+void
+RuntimeBase::dealloc(unsigned tid, uint64_t payloadOff)
+{
+    // A free is a durable effect: a free-only transaction must not
+    // take the read-only fast path at commit (its intent table would
+    // silently be dropped).
+    ensureBegun(tid);
+    slot(tid).actions.emplace_back(payloadOff, true);
+}
+
+}  // namespace cnvm::rt

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Shared machinery for all failure-atomicity runtimes: slot/descriptor
+ * management, self-validating log append/scan, dirty-line tracking for
+ * commit-time write-back, and the allocation intent protocol.
+ */
+#ifndef CNVM_RUNTIMES_BASE_H
+#define CNVM_RUNTIMES_BASE_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "alloc/pm_allocator.h"
+#include "common/epoch_set.h"
+#include "nvm/pool.h"
+#include "runtimes/descriptor.h"
+#include "txn/runtime.h"
+
+namespace cnvm::rt {
+
+class RuntimeBase : public txn::Runtime {
+ public:
+    RuntimeBase(nvm::Pool& pool, alloc::PmAllocator& heap);
+
+    nvm::Pool& pool() override { return pool_; }
+    alloc::PmAllocator& heap() override { return heap_; }
+
+    std::span<const uint8_t> argBlob(unsigned tid) const override;
+
+    /**
+     * Ablation knob: persist begin records eagerly at txBegin instead
+     * of lazily before the first durable effect. Costs read-only
+     * transactions two fences each (see bench/ablation_lazy_begin).
+     */
+    void setEagerBeginPersist(bool on) { eagerBegin_ = on; }
+
+    void initZero(unsigned tid, void* dst, size_t n) override;
+    uint64_t alloc(unsigned tid, size_t n) override;
+    void dealloc(unsigned tid, uint64_t payloadOff) override;
+
+ protected:
+    /** Volatile per-slot transaction state. */
+    struct SlotState {
+        bool inTx = false;
+        /** begin record (and v_log) persisted yet? (lazy begin) */
+        bool begunPersist = false;
+        txn::FuncId pendingFid = 0;
+        bool wantArgsPersist = false;
+        std::vector<uint8_t> volatileArgs;
+        /** dirty cache lines to write back at commit */
+        EpochSet dirtyLines{4096};
+        /** 8-byte blocks read before written (clobber inputs) */
+        EpochSet readSet{4096};
+        /** 8-byte blocks already written (incl. fresh allocations) */
+        EpochSet writeSet{4096};
+        /** 8-byte blocks already undo-logged (PMDK range dedup) */
+        EpochSet loggedBlocks{4096};
+        /** iDO per-idempotent-region sets */
+        EpochSet regionReadSet{4096};
+        EpochSet regionWriteSet{4096};
+        /** allocation actions (payloadOff, isFree) */
+        std::vector<std::pair<uint64_t, bool>> actions;
+        /** bytes used in the slot's log area */
+        size_t logTail = 0;
+
+        void
+        resetTx()
+        {
+            begunPersist = false;
+            pendingFid = 0;
+            wantArgsPersist = false;
+            dirtyLines.clear();
+            readSet.clear();
+            writeSet.clear();
+            loggedBlocks.clear();
+            regionReadSet.clear();
+            regionWriteSet.clear();
+            actions.clear();
+            logTail = 0;
+        }
+    };
+
+    static constexpr uint64_t kBlock = 8;
+
+    TxDescriptor& desc(unsigned tid);
+    const TxDescriptor& desc(unsigned tid) const;
+    uint8_t* logArea(unsigned tid);
+    size_t logCapacity() const;
+    SlotState& slot(unsigned tid);
+
+    /** Interposed in-place write: pool write + dirty-line tracking. */
+    void writeDirty(unsigned tid, void* dst, const void* src, size_t n);
+
+    /** clwb every dirty line (no fence). */
+    void flushDirty(unsigned tid);
+
+    /**
+     * Append a self-validating log entry carrying `len` bytes of
+     * `payload` attributed to `targetOff`. Flushes the entry; fences
+     * iff `fenceAfter`.
+     */
+    void appendLogEntry(unsigned tid, uint64_t targetOff,
+                        const void* payload, uint32_t len,
+                        bool fenceAfter);
+
+    /** A validated log entry surfaced during recovery. */
+    struct ScannedEntry {
+        uint64_t targetOff;
+        uint32_t len;
+        const uint8_t* data;
+    };
+
+    /** All valid entries of the slot's current transaction, in order. */
+    std::vector<ScannedEntry> scanLog(unsigned tid);
+
+    /**
+     * Persist the begin record. Writes status/txSeq (+fid/args when
+     * `persistArgs`), flushes, fences. This is the v_log write for
+     * recovery-via-resumption runtimes.
+     */
+    void persistBegin(unsigned tid, txn::FuncId fid,
+                      std::span<const uint8_t> args, bool persistArgs);
+
+    /**
+     * Lazy begin: stage the begin record volatilely; ensureBegun()
+     * persists it before the transaction's first durable effect. A
+     * transaction that never stores, logs, or allocates therefore
+     * costs no fences at all (read-only fast path — PMDK does not
+     * transact reads, and Clobber-NVM's v_log only has to be durable
+     * before the first store could tear anything).
+     */
+    void stageBegin(unsigned tid, txn::FuncId fid,
+                    std::span<const uint8_t> args, bool persistArgs);
+    void ensureBegun(unsigned tid);
+
+    /** Hook invoked when a staged begin actually persists. */
+    virtual void beganPersistently(unsigned /* tid */) {}
+
+    /**
+     * @name Allocation intent protocol
+     *
+     * pmalloc/pfree follow PMDK's redo-style scheme, with frees split
+     * from allocations so every crash window is unambiguous:
+     *
+     *  1. persistIntentsAndAllocs() — before the transaction's data
+     *     fence: persist the intent table (alloc + free actions,
+     *     tagged with the txSeq), fence, then set+flush the bitmap
+     *     bits of the allocations only;
+     *  2. transaction commit point (status change);
+     *  3. finishIntentsAfterCommit() — clear+flush the bitmap bits of
+     *     the frees, then persist intentCount = 0.
+     *
+     * Rollback (crash before the commit point) reverts the alloc bits
+     * and never applies the frees; completion (crash after) re-applies
+     * frees idempotently. recoverIntents() implements both.
+     */
+    /// @{
+    void persistIntentsAndAllocs(unsigned tid);
+    void finishIntentsAfterCommit(unsigned tid);
+
+    /**
+     * Repair the persistent intent table of slot `tid`.
+     * @param committed true if the owning transaction reached its
+     *        commit point (finish the frees), false otherwise (revert
+     *        the allocations).
+     */
+    void recoverIntents(unsigned tid, bool committed);
+
+    /** Redo replay: force the table's alloc bits set (idempotent). */
+    void reapplyAllocIntents(unsigned tid);
+
+    /** True iff the slot holds a live intent table for its txSeq. */
+    bool hasLiveIntents(unsigned tid) const;
+    /// @}
+
+    /** Write status=idle, flush, fence. */
+    void persistIdle(unsigned tid);
+
+    /**
+     * True iff slot `tid` holds an interrupted transaction whose begin
+     * record validates (see TxDescriptor::beginSum).
+     */
+    bool isOngoing(unsigned tid) const;
+
+    /** Checksum of the slot's current begin record. */
+    uint64_t beginChecksum(unsigned tid) const;
+
+    /** Helpers for 8-byte block bookkeeping. */
+    uint64_t
+    firstBlock(const void* p) const
+    {
+        return pool_.offsetOf(p) / kBlock;
+    }
+
+    template <typename Fn>
+    void
+    forEachBlock(const void* p, size_t n, Fn&& fn) const
+    {
+        uint64_t off = pool_.offsetOf(p);
+        uint64_t first = off / kBlock;
+        uint64_t last = (off + (n == 0 ? 0 : n - 1)) / kBlock;
+        for (uint64_t b = first; b <= last; b++)
+            fn(b);
+    }
+
+    nvm::Pool& pool_;
+    alloc::PmAllocator& heap_;
+    std::vector<SlotState> slots_;
+    bool eagerBegin_ = false;
+};
+
+}  // namespace cnvm::rt
+
+#endif  // CNVM_RUNTIMES_BASE_H

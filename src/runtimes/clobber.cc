@@ -1,0 +1,143 @@
+#include "runtimes/clobber.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "stats/counters.h"
+#include "txn/registry.h"
+#include "txn/tx.h"
+
+namespace cnvm::rt {
+
+void
+ClobberRuntime::txBegin(unsigned tid, txn::FuncId fid,
+                        std::span<const uint8_t> args)
+{
+    stageBegin(tid, fid, args, /* persistArgs */ vlogEnabled_);
+}
+
+void
+ClobberRuntime::load(unsigned tid, void* dst, const void* src, size_t n)
+{
+    SlotState& s = slot(tid);
+    forEachBlock(src, n, [&](uint64_t b) {
+        // Reading your own write is not an input read.
+        if (!s.writeSet.contains(b))
+            s.readSet.insert(b);
+    });
+    std::memcpy(dst, src, n);
+}
+
+void
+ClobberRuntime::store(unsigned tid, void* dst, const void* src, size_t n)
+{
+    ensureBegun(tid);
+    SlotState& s = slot(tid);
+    bool clobbers = false;
+    forEachBlock(dst, n, [&](uint64_t b) {
+        if (!s.readSet.contains(b))
+            return;
+        if (policy_ == ClobberPolicy::refined && s.writeSet.contains(b))
+            return;  // already clobbered and logged earlier
+        clobbers = true;
+    });
+    if (clobbers && clobberLogEnabled_) {
+        // clobber_log: undo-log the overwritten input before the store
+        // (entry write + flush + fence, via the shared undo machinery).
+        appendLogEntry(tid, pool_.offsetOf(dst), dst,
+                       static_cast<uint32_t>(n), /* fenceAfter */ true);
+        stats::bump(stats::Counter::clobberEntries);
+        stats::bump(stats::Counter::clobberBytes, n);
+        stats::bump(stats::Counter::undoEntries);
+        stats::bump(stats::Counter::undoBytes, n);
+    }
+    forEachBlock(dst, n, [&](uint64_t b) { s.writeSet.insert(b); });
+    writeDirty(tid, dst, src, n);
+}
+
+void
+ClobberRuntime::txCommit(unsigned tid)
+{
+    SlotState& s = slot(tid);
+    CNVM_CHECK(s.inTx, "commit outside transaction");
+    if (!s.begunPersist) {
+        // Read-only transaction: nothing durable happened.
+        s.inTx = false;
+        stats::bump(stats::Counter::txCommits);
+        return;
+    }
+    persistIntentsAndAllocs(tid);
+    flushDirty(tid);
+    pool_.fence();
+    persistIdle(tid);
+    finishIntentsAfterCommit(tid);
+    s.inTx = false;
+}
+
+void
+ClobberRuntime::restoreSlot(unsigned tid)
+{
+    auto entries = scanLog(tid);
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        if (it->targetOff == kMarkerOff)
+            continue;  // bookkeeping record, not a memory image
+        pool_.writeAt(it->targetOff, it->data, it->len);
+        pool_.flush(pool_.at(it->targetOff), it->len);
+    }
+    pool_.fence();
+    recoverIntents(tid, /* committed */ false);
+    stats::bump(stats::Counter::recoveries);
+}
+
+void
+ClobberRuntime::reexecuteSlot(unsigned tid)
+{
+    TxDescriptor& d = desc(tid);
+    // Bump the sequence number (keeping status=ongoing and the v_log
+    // args) so the previous execution's clobber entries are invalid if
+    // we crash again during re-execution.
+    uint64_t seq = d.txSeq + 1;
+    pool_.write(&d.txSeq, &seq, sizeof(seq));
+    uint64_t sum = beginChecksum(tid);
+    pool_.write(&d.beginSum, &sum, sizeof(sum));
+    pool_.flush(&d.txSeq, sizeof(seq));
+    pool_.persist(&d.beginSum, sizeof(sum));
+
+    SlotState& s = slot(tid);
+    s = SlotState{};
+    s.inTx = true;
+    s.begunPersist = true;  // the v_log entry is already durable
+    // The only surviving copy of the transaction's inputs is the
+    // v_log; rehydrate the volatile blob from it.
+    s.volatileArgs.assign(d.args, d.args + d.argLen);
+
+    txn::Tx tx(*this, tid);
+    txn::ArgReader r(argBlob(tid));
+    txn::lookupTxFunc(d.fid)(tx, r);
+    txCommit(tid);
+    stats::bump(stats::Counter::reexecutions);
+}
+
+void
+ClobberRuntime::recover()
+{
+    // Phase 1: restore every interrupted transaction's clobbered
+    // inputs and revert its allocation intents.
+    std::vector<unsigned> interrupted;
+    for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
+        if (isOngoing(tid)) {
+            restoreSlot(tid);
+            interrupted.push_back(tid);
+        } else if (hasLiveIntents(tid)) {
+            recoverIntents(tid, /* committed */ true);
+        }
+        slot(tid) = SlotState{};
+    }
+    // Phase 2: rebuild the allocator's volatile state from the (now
+    // reverted) bitmap, then re-execute each transaction to completion.
+    heap_.rebuild();
+    for (unsigned tid : interrupted)
+        reexecuteSlot(tid);
+}
+
+}  // namespace cnvm::rt

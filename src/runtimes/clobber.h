@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Clobber-NVM: the paper's runtime.
+ *
+ * Logging strategy (Section 3): undo-log *only* transaction inputs that
+ * the transaction itself overwrites ("clobber writes"), persist the
+ * transaction's volatile inputs (function id + argument blob) in a
+ * v_log at begin, and recover interrupted transactions by restoring the
+ * clobbered inputs and re-executing the txfunc from its start.
+ *
+ * Clobber detection here is the dynamic equivalent of the compiler
+ * pass: per-transaction read/write sets at 8-byte granularity. A store
+ * clobbers an input iff it targets a block that was read before being
+ * written in this transaction. Two policies model the paper's
+ * Section 5.9 comparison:
+ *
+ *  - refined:      log iff block ∈ readSet ∧ block ∉ writeSet — the
+ *                  post-refinement pass (no redundant logging of
+ *                  already-clobbered inputs, e.g. later loop
+ *                  iterations);
+ *  - conservative: log iff block ∈ readSet — every execution of a
+ *                  candidate clobber-write site logs, as the
+ *                  unrefined conservative pass would instrument.
+ */
+#ifndef CNVM_RUNTIMES_CLOBBER_H
+#define CNVM_RUNTIMES_CLOBBER_H
+
+#include "runtimes/base.h"
+
+namespace cnvm::rt {
+
+enum class ClobberPolicy {
+    refined,
+    conservative,
+};
+
+class ClobberRuntime : public RuntimeBase {
+ public:
+    ClobberRuntime(nvm::Pool& pool, alloc::PmAllocator& heap,
+                   ClobberPolicy policy = ClobberPolicy::refined)
+        : RuntimeBase(pool, heap), policy_(policy) {}
+
+    const char* name() const override
+    {
+        return policy_ == ClobberPolicy::refined ? "clobber"
+                                                 : "clobber-cons";
+    }
+    txn::RuntimeKind kind() const override
+    {
+        return txn::RuntimeKind::clobber;
+    }
+
+    void txBegin(unsigned tid, txn::FuncId fid,
+                 std::span<const uint8_t> args) override;
+    void txCommit(unsigned tid) override;
+    void store(unsigned tid, void* dst, const void* src,
+               size_t n) override;
+    void load(unsigned tid, void* dst, const void* src,
+              size_t n) override;
+    void recover() override;
+
+    ClobberPolicy policy() const { return policy_; }
+
+    /**
+     * Knobs for the Figure 7 breakdown: selectively disable the v_log
+     * or the clobber_log (the resulting runtime is not failure-atomic;
+     * measurement only).
+     */
+    void setVlogEnabled(bool on) { vlogEnabled_ = on; }
+    void setClobberLogEnabled(bool on) { clobberLogEnabled_ = on; }
+
+ private:
+    /** Restore clobbered inputs, revert intents (phase 1 of recovery). */
+    void restoreSlot(unsigned tid);
+    /** Re-execute the interrupted txfunc (phase 2 of recovery). */
+    void reexecuteSlot(unsigned tid);
+
+    ClobberPolicy policy_;
+    bool vlogEnabled_ = true;
+    bool clobberLogEnabled_ = true;
+};
+
+}  // namespace cnvm::rt
+
+#endif  // CNVM_RUNTIMES_CLOBBER_H

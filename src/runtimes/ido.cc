@@ -1,0 +1,79 @@
+#include "runtimes/ido.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "stats/counters.h"
+
+namespace cnvm::rt {
+
+void
+IdoRuntime::txBegin(unsigned tid, txn::FuncId fid,
+                    std::span<const uint8_t> args)
+{
+    ClobberRuntime::txBegin(tid, fid, args);
+    pendingArgBytes_ = args.size();
+}
+
+void
+IdoRuntime::beganPersistently(unsigned)
+{
+    // iDO keeps the stack in NVM instead of copying volatile inputs at
+    // FASE begin; account the equivalent bytes plus the initial
+    // boundary record.
+    stats::bump(stats::Counter::idoEntries);
+    stats::bump(stats::Counter::idoBytes,
+                kRegisterSnapshotBytes + pendingArgBytes_);
+}
+
+void
+IdoRuntime::load(unsigned tid, void* dst, const void* src, size_t n)
+{
+    SlotState& s = slot(tid);
+    forEachBlock(src, n, [&](uint64_t b) {
+        if (!s.regionWriteSet.contains(b))
+            s.regionReadSet.insert(b);
+    });
+    std::memcpy(dst, src, n);
+}
+
+void
+IdoRuntime::store(unsigned tid, void* dst, const void* src, size_t n)
+{
+    ensureBegun(tid);
+    SlotState& s = slot(tid);
+    bool antiDependence = false;
+    forEachBlock(dst, n, [&](uint64_t b) {
+        if (s.regionReadSet.contains(b))
+            antiDependence = true;
+    });
+    if (antiDependence) {
+        // Idempotent-region boundary: persist the modified memory of
+        // the closing region, then the register snapshot.
+        flushDirty(tid);
+        uint8_t registers[kRegisterSnapshotBytes] = {};
+        appendLogEntry(tid, kMarkerOff, registers, sizeof(registers),
+                       /* fenceAfter */ true);
+        stats::bump(stats::Counter::idoEntries);
+        stats::bump(stats::Counter::idoBytes, kRegisterSnapshotBytes);
+        s.regionReadSet.clear();
+        s.regionWriteSet.clear();
+    }
+    forEachBlock(dst, n, [&](uint64_t b) {
+        s.regionWriteSet.insert(b);
+    });
+    writeDirty(tid, dst, src, n);
+}
+
+void
+IdoRuntime::recover()
+{
+    for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
+        CNVM_CHECK(!isOngoing(tid),
+                   "the iDO model measures logging volume only; "
+                   "resumption needs real register state");
+    }
+    heap_.rebuild();
+}
+
+}  // namespace cnvm::rt

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Mnemosyne-model redo runtime.
+ *
+ * Stores are appended to a persistent redo log (flushed lazily, no
+ * per-store fence) and buffered in a volatile write set; loads are
+ * interposed to read through the write set (the "longer read path" the
+ * paper attributes Mnemosyne's slow searches to). Commit needs a small,
+ * constant number of fences regardless of transaction size: drain log
+ * flushes, persist the commit record, write back, mark idle.
+ */
+#ifndef CNVM_RUNTIMES_REDO_H
+#define CNVM_RUNTIMES_REDO_H
+
+#include <unordered_map>
+
+#include "runtimes/base.h"
+
+namespace cnvm::rt {
+
+class RedoRuntime : public RuntimeBase {
+ public:
+    RedoRuntime(nvm::Pool& pool, alloc::PmAllocator& heap);
+
+    const char* name() const override { return "mnemosyne"; }
+    txn::RuntimeKind kind() const override
+    {
+        return txn::RuntimeKind::redo;
+    }
+
+    void txBegin(unsigned tid, txn::FuncId fid,
+                 std::span<const uint8_t> args) override;
+    void txCommit(unsigned tid) override;
+    void store(unsigned tid, void* dst, const void* src,
+               size_t n) override;
+    void initZero(unsigned tid, void* dst, size_t n) override;
+    void load(unsigned tid, void* dst, const void* src,
+              size_t n) override;
+    void recover() override;
+
+ private:
+    /** Effective 8-byte word at `wordOff` (write set wins over home). */
+    uint64_t effectiveWord(unsigned tid, uint64_t wordOff) const;
+
+    /** Per-slot volatile write set: word offset -> buffered value. */
+    std::vector<std::unordered_map<uint64_t, uint64_t>> writeMaps_;
+};
+
+}  // namespace cnvm::rt
+
+#endif  // CNVM_RUNTIMES_REDO_H

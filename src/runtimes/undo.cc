@@ -1,0 +1,99 @@
+#include "runtimes/undo.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "stats/counters.h"
+
+namespace cnvm::rt {
+
+void
+UndoRuntime::txBegin(unsigned tid, txn::FuncId fid,
+                     std::span<const uint8_t> args)
+{
+    stageBegin(tid, fid, args, /* persistArgs */ false);
+}
+
+void
+UndoRuntime::maybeUndoLog(unsigned tid, void* dst, size_t n)
+{
+    SlotState& s = slot(tid);
+    bool needLog = false;
+    forEachBlock(dst, n, [&](uint64_t b) {
+        if (!s.loggedBlocks.contains(b))
+            needLog = true;
+    });
+    if (!needLog)
+        return;
+    appendLogEntry(tid, pool_.offsetOf(dst), dst,
+                   static_cast<uint32_t>(n), /* fenceAfter */ true);
+    forEachBlock(dst, n, [&](uint64_t b) { s.loggedBlocks.insert(b); });
+    stats::bump(stats::Counter::undoEntries);
+    stats::bump(stats::Counter::undoBytes, n);
+}
+
+void
+UndoRuntime::store(unsigned tid, void* dst, const void* src, size_t n)
+{
+    ensureBegun(tid);
+    maybeUndoLog(tid, dst, n);
+    writeDirty(tid, dst, src, n);
+}
+
+void
+UndoRuntime::load(unsigned, void* dst, const void* src, size_t n)
+{
+    std::memcpy(dst, src, n);
+}
+
+void
+UndoRuntime::txCommit(unsigned tid)
+{
+    SlotState& s = slot(tid);
+    CNVM_CHECK(s.inTx, "commit outside transaction");
+    if (!s.begunPersist) {
+        // Read-only transaction: nothing durable happened.
+        s.inTx = false;
+        stats::bump(stats::Counter::txCommits);
+        return;
+    }
+    persistIntentsAndAllocs(tid);
+    flushDirty(tid);
+    pool_.fence();
+    persistIdle(tid);
+    finishIntentsAfterCommit(tid);
+    s.inTx = false;
+}
+
+void
+UndoRuntime::rollbackSlot(unsigned tid)
+{
+    auto entries = scanLog(tid);
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        if (it->targetOff == kMarkerOff)
+            continue;  // bookkeeping record, not a memory image
+        pool_.writeAt(it->targetOff, it->data, it->len);
+        pool_.flush(pool_.at(it->targetOff), it->len);
+    }
+    pool_.fence();
+    recoverIntents(tid, /* committed */ false);
+    persistIdle(tid);
+    stats::bump(stats::Counter::recoveries);
+}
+
+void
+UndoRuntime::recover()
+{
+    for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
+        if (isOngoing(tid)) {
+            rollbackSlot(tid);
+        } else if (hasLiveIntents(tid)) {
+            // Crashed between the commit point and free completion.
+            recoverIntents(tid, /* committed */ true);
+        }
+        slot(tid) = SlotState{};
+    }
+    heap_.rebuild();
+}
+
+}  // namespace cnvm::rt

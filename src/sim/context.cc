@@ -1,0 +1,21 @@
+#include "sim/context.h"
+
+namespace cnvm::sim {
+
+namespace {
+thread_local ThreadCtx* tlsCur = nullptr;
+}  // namespace
+
+ThreadCtx*
+cur()
+{
+    return tlsCur;
+}
+
+void
+setCur(ThreadCtx* ctx)
+{
+    tlsCur = ctx;
+}
+
+}  // namespace cnvm::sim

@@ -1,0 +1,12 @@
+#include "stats/simtime.h"
+
+namespace cnvm::stats {
+
+PersistParams&
+persistParams()
+{
+    static PersistParams p;
+    return p;
+}
+
+}  // namespace cnvm::stats

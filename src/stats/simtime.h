@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulated persistence-time model.
+ *
+ * The evaluation machine in the paper stalls on `clwb`/`sfence` pairs to
+ * Optane DCPMM; on this (single-core, DRAM-only) host we model those
+ * stalls instead of experiencing them. Every logical thread owns a
+ * PersistClock; the runtimes report flush/fence events to it and the
+ * executor (src/sim) folds the resulting stall nanoseconds into the
+ * thread's logical clock.
+ *
+ * Model: flushes are issued asynchronously and complete FLUSH_NS after
+ * issue (they overlap freely with each other and with execution, as clwb
+ * does). A fence waits for the latest outstanding flush to complete and
+ * then costs FENCE_NS itself. This captures the paper's first-order
+ * effect: "frequent ordering fences limit the overlapping of long-latency
+ * flush instructions".
+ */
+#ifndef CNVM_STATS_SIMTIME_H
+#define CNVM_STATS_SIMTIME_H
+
+#include <cstdint>
+
+namespace cnvm::stats {
+
+/** Latency parameters, loosely calibrated to Optane DCPMM AppDirect. */
+struct PersistParams {
+    uint64_t flushNs = 400;     ///< clwb issue-to-durable latency
+    uint64_t fenceNs = 100;     ///< sfence cost once flushes drained
+    double writeNsPerByte = 0.5;  ///< NVM write bandwidth term (~2 GB/s)
+    /**
+     * Per-interposed-load latency of redo logging's read redirection
+     * (Mnemosyne consults its write set on every transactional read —
+     * the paper's "longer read path").
+     */
+    uint64_t redoReadNs = 60;
+};
+
+/** Global (process-wide) parameter block used by new clocks. */
+PersistParams& persistParams();
+
+/**
+ * Tracks one logical thread's persistence stalls.
+ *
+ * `now` is maintained by the caller (the executor advances it with
+ * measured compute time); this class only accounts for the extra
+ * nanoseconds spent waiting on flush/fence completion.
+ */
+class PersistClock {
+ public:
+    explicit PersistClock(const PersistParams& p = persistParams())
+        : params_(p) {}
+
+    /** Record a flush of `bytes` issued at logical time `now`. */
+    void
+    onFlush(uint64_t now, uint64_t bytes = 64)
+    {
+        uint64_t done = now + params_.flushNs +
+            static_cast<uint64_t>(
+                params_.writeNsPerByte * static_cast<double>(bytes));
+        if (done > lastFlushDone_)
+            lastFlushDone_ = done;
+    }
+
+    /**
+     * Record a fence issued at logical time `now`.
+     * @return the stall in nanoseconds the fence causes.
+     */
+    uint64_t
+    onFence(uint64_t now)
+    {
+        uint64_t t = now;
+        if (lastFlushDone_ > t)
+            t = lastFlushDone_;
+        t += params_.fenceNs;
+        lastFlushDone_ = 0;
+        return t - now;
+    }
+
+    void reset() { lastFlushDone_ = 0; }
+
+ private:
+    PersistParams params_;
+    uint64_t lastFlushDone_ = 0;
+};
+
+}  // namespace cnvm::stats
+
+#endif  // CNVM_STATS_SIMTIME_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Persistent AVL tree mapping uint64 keys to uint64 values.
+ *
+ * STAMP's vacation benchmark can run its reservation tables on either
+ * red-black trees or this AVL tree (paper Section 5.7 / Figure 11).
+ * Values are typically PPtr offsets of table records.
+ */
+#ifndef CNVM_STRUCTURES_AVLTREE_H
+#define CNVM_STRUCTURES_AVLTREE_H
+
+#include "nvm/pptr.h"
+#include "structures/kv.h"
+#include "txn/tx.h"
+
+namespace cnvm::ds {
+
+struct AvlNode {
+    uint64_t key;
+    uint64_t value;
+    nvm::PPtr<AvlNode> left;
+    nvm::PPtr<AvlNode> right;
+    int64_t height;
+};
+
+struct PAvlTree {
+    nvm::PPtr<AvlNode> root;
+    uint64_t count;
+};
+
+/**
+ * Unlike the KvStructure wrappers, AvlMap runs *inside* an enclosing
+ * transaction (vacation transactions span several tables), so every
+ * method takes the caller's Tx.
+ */
+class AvlMap {
+ public:
+    /** Create a fresh tree inside the caller's transaction. */
+    static nvm::PPtr<PAvlTree> create(txn::Tx& tx);
+
+    explicit AvlMap(nvm::PPtr<PAvlTree> root) : root_(root) {}
+
+    nvm::PPtr<PAvlTree> root() const { return root_; }
+
+    /** Insert or update. @return true if the key was new. */
+    bool put(txn::Tx& tx, uint64_t key, uint64_t value);
+
+    /** @return true and set *value if found. */
+    bool get(txn::Tx& tx, uint64_t key, uint64_t* value) const;
+
+    /** @return true if the key existed. */
+    bool erase(txn::Tx& tx, uint64_t key);
+
+    /** Greatest key <= `key` (predecessor query, used by vacation). */
+    bool floor(txn::Tx& tx, uint64_t key, uint64_t* foundKey,
+               uint64_t* value) const;
+
+    uint64_t size(txn::Tx& tx) const;
+
+    /** Direct-traversal invariant check. @return height or -1. */
+    long validate() const;
+
+ private:
+    nvm::PPtr<PAvlTree> root_;
+};
+
+}  // namespace cnvm::ds
+
+#endif  // CNVM_STRUCTURES_AVLTREE_H

@@ -1,0 +1,209 @@
+#include "structures/hashmap.h"
+
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/error.h"
+#include "common/rand.h"
+#include "txn/txrun.h"
+
+namespace cnvm::ds {
+
+namespace {
+
+/** Deterministic bucket index from the key bytes (fits re-execution). */
+uint64_t
+bucketIndex(nvm::PPtr<PHashMap> root, std::string_view key,
+            txn::Tx& tx)
+{
+    uint64_t shards = tx.ld(root->nShards);
+    uint64_t perShard = tx.ld(root->bucketsPerShard);
+    uint64_t h = fnv1a(key.data(), key.size());
+    uint64_t shard = h % shards;
+    uint64_t bucket = (h / shards) % perShard;
+    return shard * perShard + bucket;
+}
+
+bool
+keyEquals(txn::Tx& tx, nvm::PPtr<HmNode> n, std::string_view key)
+{
+    uint32_t klen = tx.ld(n->keyLen);
+    if (klen != key.size())
+        return false;
+    char buf[kMaxKeyLen];
+    CNVM_CHECK(klen <= kMaxKeyLen, "key too long");
+    tx.ldBytes(buf, n->keyBytes(), klen);
+    return std::memcmp(buf, key.data(), klen) == 0;
+}
+
+nvm::PPtr<HmNode>
+makeNode(txn::Tx& tx, std::string_view key, std::string_view val,
+         nvm::PPtr<HmNode> next)
+{
+    auto n = tx.pnew<HmNode>(key.size() + val.size());
+    tx.st(n->next, next);
+    tx.st(n->keyLen, static_cast<uint32_t>(key.size()));
+    tx.st(n->valLen, static_cast<uint32_t>(val.size()));
+    tx.stBytes(n->keyBytes(), key.data(), key.size());
+    tx.stBytes(n->valBytes(static_cast<uint32_t>(key.size())),
+               val.data(), val.size());
+    return n;
+}
+
+void
+hmPutFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PHashMap>(a.get<uint64_t>());
+    auto key = a.getString();
+    auto val = a.getString();
+
+    auto& headSlot = root->buckets()[bucketIndex(root, key, tx)];
+    auto prev = nvm::PPtr<HmNode>();
+    for (auto n = tx.ld(headSlot); !n.isNull();
+         prev = n, n = tx.ld(n->next)) {
+        if (!keyEquals(tx, n, key))
+            continue;
+        if (tx.ld(n->valLen) == val.size()) {
+            tx.stBytes(n->valBytes(static_cast<uint32_t>(key.size())),
+               val.data(), val.size());
+        } else {
+            auto fresh = makeNode(tx, key, val, tx.ld(n->next));
+            if (prev.isNull())
+                tx.st(headSlot, fresh);
+            else
+                tx.st(prev->next, fresh);
+            tx.pfree(n);
+        }
+        return;
+    }
+    // New key: prepend. The bucket head pointer is the single
+    // clobbered input — the paper measures exactly one 8-byte
+    // clobber_log entry per hashmap insert (Section 5.3).
+    auto head = tx.ld(headSlot);
+    auto n = makeNode(tx, key, val, head);
+    tx.st(headSlot, n);
+}
+
+void
+hmDelFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PHashMap>(a.get<uint64_t>());
+    auto key = a.getString();
+    auto* out = reinterpret_cast<bool*>(a.get<uint64_t>());
+    auto& headSlot = root->buckets()[bucketIndex(root, key, tx)];
+    auto prev = nvm::PPtr<HmNode>();
+    for (auto n = tx.ld(headSlot); !n.isNull();
+         prev = n, n = tx.ld(n->next)) {
+        if (!keyEquals(tx, n, key))
+            continue;
+        auto next = tx.ld(n->next);
+        if (prev.isNull())
+            tx.st(headSlot, next);
+        else
+            tx.st(prev->next, next);
+        tx.pfree(n);
+        if (out != nullptr)
+            *out = true;
+        return;
+    }
+    if (out != nullptr)
+        *out = false;
+}
+
+void
+hmGetFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PHashMap>(a.get<uint64_t>());
+    auto key = a.getString();
+    auto* out = reinterpret_cast<LookupResult*>(a.get<uint64_t>());
+    out->found = false;
+    auto& headSlot = root->buckets()[bucketIndex(root, key, tx)];
+    for (auto n = tx.ld(headSlot); !n.isNull(); n = tx.ld(n->next)) {
+        if (!keyEquals(tx, n, key))
+            continue;
+        out->found = true;
+        out->len = tx.ld(n->valLen);
+        CNVM_CHECK(out->len <= kMaxValLen, "value too long");
+        tx.ldBytes(out->value,
+                   n->valBytes(static_cast<uint32_t>(key.size())),
+                   out->len);
+        return;
+    }
+}
+
+const txn::FuncId kHmPut = txn::registerTxFunc("hm_put", hmPutFn);
+const txn::FuncId kHmDel = txn::registerTxFunc("hm_del", hmDelFn);
+const txn::FuncId kHmGet = txn::registerTxFunc("hm_get", hmGetFn);
+
+}  // namespace
+
+HashMap::HashMap(txn::Engine& eng, uint64_t rootOff,
+                 const KvConfig& cfg)
+    : eng_(eng)
+{
+    if (rootOff == 0) {
+        size_t nBuckets = cfg.hashShards * cfg.hashBucketsPerShard;
+        rootOff = rawCreate(eng_, sizeof(PHashMap) +
+                                      nBuckets *
+                                          sizeof(nvm::PPtr<HmNode>));
+        root_ = nvm::PPtr<PHashMap>(rootOff);
+        auto& pool = eng_.rt.pool();
+        PHashMap init{};
+        init.nShards = cfg.hashShards;
+        init.bucketsPerShard = cfg.hashBucketsPerShard;
+        pool.write(root_.get(), &init, sizeof(init));
+        pool.persist(root_.get(), sizeof(init));
+    } else {
+        root_ = nvm::PPtr<PHashMap>(rootOff);
+    }
+    shardLocks_ = std::vector<sim::SimSharedMutex>(root_->nShards);
+}
+
+uint64_t
+HashMap::size() const
+{
+    uint64_t n = 0;
+    uint64_t buckets = root_->nShards * root_->bucketsPerShard;
+    for (uint64_t b = 0; b < buckets; b++) {
+        for (auto node = root_->buckets()[b]; !node.isNull();
+             node = node->next) {
+            n++;
+        }
+    }
+    return n;
+}
+
+size_t
+HashMap::shardOf(std::string_view key) const
+{
+    return fnv1a(key.data(), key.size()) % root_->nShards;
+}
+
+void
+HashMap::insert(std::string_view key, std::string_view val)
+{
+    std::lock_guard<sim::SimSharedMutex> g(shardLocks_[shardOf(key)]);
+    txn::run(eng_, kHmPut, root_.raw(), key, val);
+}
+
+bool
+HashMap::lookup(std::string_view key, LookupResult* out)
+{
+    std::shared_lock<sim::SimSharedMutex> g(shardLocks_[shardOf(key)]);
+    txn::run(eng_, kHmGet, root_.raw(), key,
+             reinterpret_cast<uint64_t>(out));
+    return out->found;
+}
+
+bool
+HashMap::remove(std::string_view key)
+{
+    std::lock_guard<sim::SimSharedMutex> g(shardLocks_[shardOf(key)]);
+    bool removed = false;
+    txn::run(eng_, kHmDel, root_.raw(), key,
+             reinterpret_cast<uint64_t>(&removed));
+    return removed;
+}
+
+}  // namespace cnvm::ds

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Common interface for the persistent key-value data structures used by
+ * the paper's benchmarks (Section 5.2): B+Tree, HashMap, Skiplist and
+ * Red-Black Tree, plus the linked list from the usage example.
+ *
+ * All structures are written once against the txn::Runtime
+ * interposition API, so every logging protocol runs the identical data
+ * structure code — only the runtime changes between bars of Figure 6.
+ *
+ * Locking (paper Section 5.2): HashMap uses one reader-writer lock per
+ * shard (256 instances), Skiplist a single global lock, RB-Tree a
+ * global reader-writer lock, and B+Tree fine-grained (key-sharded)
+ * reader-writer locks. Locks are volatile (sim::SimSharedMutex — real
+ * under OS threads, discrete-event under the logical executor) and are
+ * acquired by the wrapper *around* the transaction, per conservative
+ * strong strict two-phase locking. Transaction bodies never touch
+ * locks, which keeps recovery re-execution lock-free.
+ */
+#ifndef CNVM_STRUCTURES_KV_H
+#define CNVM_STRUCTURES_KV_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "txn/engine.h"
+
+namespace cnvm::ds {
+
+constexpr size_t kMaxKeyLen = 64;
+constexpr size_t kMaxValLen = 1024;
+
+/** Volatile out-parameter for lookups (read-only transactions are
+ *  never re-executed, so passing its address is safe). */
+struct LookupResult {
+    bool found = false;
+    uint32_t len = 0;
+    char value[kMaxValLen];
+
+    std::string
+    str() const
+    {
+        return {value, len};
+    }
+};
+
+class KvStructure {
+ public:
+    virtual ~KvStructure() = default;
+
+    virtual const char* name() const = 0;
+
+    /** Pool offset of the persistent root (reattach after restart). */
+    virtual uint64_t rootOff() const = 0;
+
+    /** Insert or replace. */
+    virtual void insert(std::string_view key, std::string_view val) = 0;
+
+    /** @return true and fill `out` if present. */
+    virtual bool lookup(std::string_view key, LookupResult* out) = 0;
+
+    /** @return true if the key was present and is now gone. */
+    virtual bool remove(std::string_view key) = 0;
+};
+
+struct KvConfig {
+    size_t hashShards = 256;          ///< paper: 256 hashmap instances
+    size_t hashBucketsPerShard = 1024;
+    size_t lockShards = 1024;         ///< B+Tree fine-grained locks
+};
+
+/**
+ * Construct a structure by benchmark name: "hashmap", "skiplist",
+ * "rbtree", "bptree", or "list".
+ * @param rootOff 0 to create a fresh structure, otherwise reattach.
+ */
+std::unique_ptr<KvStructure>
+makeKv(const std::string& name, txn::Engine& eng, uint64_t rootOff = 0,
+       const KvConfig& cfg = KvConfig{});
+
+/** The four structures of Figure 6, in plot order. */
+const std::vector<std::string>& benchmarkStructures();
+
+/** Big-endian read of the first 8 key bytes (preserves lex order). */
+uint64_t keyToU64(std::string_view key);
+
+/** Allocate + zero + commit `bytes` outside any transaction (setup). */
+uint64_t rawCreate(txn::Engine& eng, size_t bytes);
+
+}  // namespace cnvm::ds
+
+#endif  // CNVM_STRUCTURES_KV_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Persistent singly-linked list — the paper's running example
+ * (Figure 2a) as a library structure. New keys are prepended, which
+ * makes the head pointer the single clobbered input of an insert.
+ * A single global lock serializes operations.
+ */
+#ifndef CNVM_STRUCTURES_LIST_H
+#define CNVM_STRUCTURES_LIST_H
+
+#include "nvm/pptr.h"
+#include "sim/lock.h"
+#include "structures/kv.h"
+#include "txn/txrun.h"
+
+namespace cnvm::ds {
+
+/** Persistent node: header followed by inline key and value bytes. */
+struct ListNode {
+    nvm::PPtr<ListNode> next;
+    uint32_t keyLen;
+    uint32_t valLen;
+    // key bytes, then value bytes, follow inline
+
+    char*
+    keyBytes()
+    {
+        return reinterpret_cast<char*>(this + 1);
+    }
+    /**
+     * @param klen the key length *as loaded through the transaction*
+     * — reading this->keyLen directly would bypass the runtime's read
+     * interposition (and see stale home memory under redo logging).
+     */
+    char*
+    valBytes(uint32_t klen)
+    {
+        return keyBytes() + klen;
+    }
+};
+
+struct PList {
+    nvm::PPtr<ListNode> head;
+    uint64_t count;
+};
+
+class List : public KvStructure {
+ public:
+    /** Create a fresh persistent list (its own transaction). */
+    List(txn::Engine& eng, uint64_t rootOff = 0);
+
+    const char* name() const override { return "list"; }
+    uint64_t rootOff() const override { return root_.raw(); }
+
+    void insert(std::string_view key, std::string_view val) override;
+    bool lookup(std::string_view key, LookupResult* out) override;
+    bool remove(std::string_view key) override;
+
+    /** Entries currently in the list (direct read). */
+    uint64_t size() const { return root_->count; }
+
+ private:
+    txn::Engine& eng_;
+    nvm::PPtr<PList> root_;
+    sim::SimSharedMutex lock_;
+};
+
+}  // namespace cnvm::ds
+
+#endif  // CNVM_STRUCTURES_LIST_H

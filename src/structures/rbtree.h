@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Persistent red-black tree, implemented in accordance with the Linux
+ * kernel / CLRS algorithm as in the paper's benchmark (Section 5.2):
+ * parent pointers, iterative insert/erase with rebalancing rotations,
+ * and one global reader-writer lock.
+ *
+ * Rebalancing makes RB-tree transactions touch (read then write) many
+ * node links — which is why undo logging pays far more here than on
+ * the hashmap, while clobber logging only records the links actually
+ * clobbered.
+ */
+#ifndef CNVM_STRUCTURES_RBTREE_H
+#define CNVM_STRUCTURES_RBTREE_H
+
+#include "nvm/pptr.h"
+#include "sim/lock.h"
+#include "structures/kv.h"
+#include "txn/tx.h"
+
+namespace cnvm::ds {
+
+struct RbNode {
+    uint64_t key;
+    nvm::PPtr<RbNode> left;
+    nvm::PPtr<RbNode> right;
+    nvm::PPtr<RbNode> parent;
+    uint32_t color;    ///< 0 red, 1 black
+    uint32_t valLen;
+    nvm::PPtr<uint8_t> val;  ///< separate buffer (size may change)
+};
+
+struct PRbTree {
+    nvm::PPtr<RbNode> root;
+    uint64_t count;
+};
+
+class RbTree : public KvStructure {
+ public:
+    explicit RbTree(txn::Engine& eng, uint64_t rootOff = 0);
+
+    const char* name() const override { return "rbtree"; }
+    uint64_t rootOff() const override { return root_.raw(); }
+
+    void insert(std::string_view key, std::string_view val) override;
+    bool lookup(std::string_view key, LookupResult* out) override;
+    bool remove(std::string_view key) override;
+
+    uint64_t size() const { return root_->count; }
+
+    /**
+     * Validate the red-black invariants by direct traversal (tests):
+     * root black, no red-red edge, equal black heights, BST order.
+     * @return black height, or -1 on violation.
+     */
+    int validate() const;
+
+ private:
+    txn::Engine& eng_;
+    nvm::PPtr<PRbTree> root_;
+    sim::SimSharedMutex lock_;  ///< paper: global reader-writer lock
+};
+
+/**
+ * Intra-transaction red-black map from uint64 keys to uint64 values
+ * (values are typically PPtr offsets). Unlike RbTree, every method
+ * takes the caller's Tx so vacation-style transactions can span
+ * several tables — this is the RB-tree backing of STAMP vacation's
+ * reservation tables (Figure 11).
+ */
+class RbMap {
+ public:
+    /** Create a fresh tree inside the caller's transaction. */
+    static nvm::PPtr<PRbTree> create(txn::Tx& tx);
+
+    explicit RbMap(nvm::PPtr<PRbTree> root) : root_(root) {}
+
+    nvm::PPtr<PRbTree> root() const { return root_; }
+
+    /** Insert or update. @return true if the key was new. */
+    bool put(txn::Tx& tx, uint64_t key, uint64_t value);
+
+    /** @return true and set *value if found. */
+    bool get(txn::Tx& tx, uint64_t key, uint64_t* value) const;
+
+    /** @return true if the key existed. */
+    bool erase(txn::Tx& tx, uint64_t key);
+
+    /** Greatest key <= `key`. */
+    bool floor(txn::Tx& tx, uint64_t key, uint64_t* foundKey,
+               uint64_t* value) const;
+
+    uint64_t size(txn::Tx& tx) const;
+
+    /** Direct-traversal invariant check. @return height or -1. */
+    int validate() const;
+
+ private:
+    nvm::PPtr<PRbTree> root_;
+};
+
+}  // namespace cnvm::ds
+
+#endif  // CNVM_STRUCTURES_RBTREE_H

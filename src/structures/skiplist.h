@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Persistent skiplist with 32 levels and a single global lock, as in
+ * the paper's benchmark (Section 5.2).
+ *
+ * A node's tower height is derived deterministically from its key
+ * hash: Clobber-NVM transactions must be deterministic (Section 2.3),
+ * and a conventional RNG would give re-execution a different height.
+ *
+ * Insert clobbers the predecessor next-pointers it splices — the
+ * handful of pointer updates behind the paper's "three clobber_log
+ * entries per transaction after optimization" observation.
+ */
+#ifndef CNVM_STRUCTURES_SKIPLIST_H
+#define CNVM_STRUCTURES_SKIPLIST_H
+
+#include "nvm/pptr.h"
+#include "sim/lock.h"
+#include "structures/kv.h"
+
+namespace cnvm::ds {
+
+constexpr unsigned kSkipMaxLevel = 32;
+
+struct SkNode {
+    uint64_t key;           ///< big-endian u64 of the 8-byte key
+    uint32_t level;
+    uint32_t valLen;
+    nvm::PPtr<SkNode> next[kSkipMaxLevel];
+    // value bytes inline
+
+    char*
+    valBytes()
+    {
+        return reinterpret_cast<char*>(this + 1);
+    }
+};
+
+struct PSkiplist {
+    uint64_t count;
+    SkNode head;            ///< sentinel with a full-height tower
+};
+
+class Skiplist : public KvStructure {
+ public:
+    explicit Skiplist(txn::Engine& eng, uint64_t rootOff = 0);
+
+    const char* name() const override { return "skiplist"; }
+    uint64_t rootOff() const override { return root_.raw(); }
+
+    void insert(std::string_view key, std::string_view val) override;
+    bool lookup(std::string_view key, LookupResult* out) override;
+    bool remove(std::string_view key) override;
+
+    uint64_t size() const { return root_->count; }
+
+ private:
+    txn::Engine& eng_;
+    nvm::PPtr<PSkiplist> root_;
+    sim::SimMutex lock_;  ///< paper: one global lock
+};
+
+}  // namespace cnvm::ds
+
+#endif  // CNVM_STRUCTURES_SKIPLIST_H

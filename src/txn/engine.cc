@@ -1,0 +1,25 @@
+#include "txn/engine.h"
+
+#include "sim/context.h"
+
+namespace cnvm::txn {
+
+namespace {
+thread_local unsigned tlsTid = 0;
+}  // namespace
+
+void
+setThreadTid(unsigned tid)
+{
+    tlsTid = tid;
+}
+
+unsigned
+currentTid()
+{
+    if (auto* c = sim::cur())
+        return c->tid();
+    return tlsTid;
+}
+
+}  // namespace cnvm::txn

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Engine: the runtime plus thread-slot assignment — what data-structure
+ * wrappers hold onto.
+ *
+ * Slot assignment: under the logical-thread executor the slot is the
+ * logical thread id; under real OS threads it is a thread-local id set
+ * with setThreadTid() (defaults to 0 for single-threaded callers).
+ */
+#ifndef CNVM_TXN_ENGINE_H
+#define CNVM_TXN_ENGINE_H
+
+#include "txn/runtime.h"
+
+namespace cnvm::txn {
+
+/** Assign the calling OS thread's runtime slot (real-thread mode). */
+void setThreadTid(unsigned tid);
+
+/** The calling context's runtime slot. */
+unsigned currentTid();
+
+struct Engine {
+    explicit Engine(Runtime& runtime) : rt(runtime) {}
+
+    Runtime& rt;
+
+    unsigned tid() const { return currentTid(); }
+};
+
+}  // namespace cnvm::txn
+
+#endif  // CNVM_TXN_ENGINE_H

@@ -1,0 +1,74 @@
+#include "txn/registry.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/rand.h"
+
+namespace cnvm::txn {
+
+namespace {
+
+struct Entry {
+    std::string name;
+    TxFn fn;
+};
+
+struct Registry {
+    std::mutex mu;
+    std::unordered_map<FuncId, Entry> map;
+};
+
+Registry&
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+}  // namespace
+
+FuncId
+registerTxFunc(const std::string& name, TxFn fn)
+{
+    auto fid = static_cast<FuncId>(fnv1a(name.data(), name.size()));
+    if (fid == 0)
+        fid = 1;
+    auto& r = registry();
+    std::lock_guard<std::mutex> g(r.mu);
+    auto it = r.map.find(fid);
+    if (it != r.map.end()) {
+        if (it->second.name != name)
+            fatal("txfunc id collision: " + name + " vs " +
+                  it->second.name);
+        CNVM_CHECK(it->second.fn == fn,
+                   "txfunc re-registered with a different body");
+        return fid;
+    }
+    r.map.emplace(fid, Entry{name, fn});
+    return fid;
+}
+
+TxFn
+lookupTxFunc(FuncId fid)
+{
+    auto& r = registry();
+    std::lock_guard<std::mutex> g(r.mu);
+    auto it = r.map.find(fid);
+    if (it == r.map.end())
+        fatal(strprintf("unknown txfunc id 0x%08x "
+                        "(was it registered before recovery?)", fid));
+    return it->second.fn;
+}
+
+const char*
+txFuncName(FuncId fid)
+{
+    auto& r = registry();
+    std::lock_guard<std::mutex> g(r.mu);
+    auto it = r.map.find(fid);
+    return it == r.map.end() ? "?" : it->second.name.c_str();
+}
+
+}  // namespace cnvm::txn

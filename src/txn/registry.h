@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Registry of transaction functions (txfuncs).
+ *
+ * Recovery-via-resumption needs "a convenient handle to initiate
+ * reexecution" (paper §4.1): the v_log records the txfunc's name and
+ * arguments, and recovery re-invokes it. FuncIds are derived from the
+ * function name by hashing, so they are stable across processes and
+ * registration orders.
+ */
+#ifndef CNVM_TXN_REGISTRY_H
+#define CNVM_TXN_REGISTRY_H
+
+#include <string>
+
+#include "txn/args.h"
+#include "txn/runtime.h"
+
+namespace cnvm::txn {
+
+class Tx;
+
+/** A transaction body: reads args, performs interposed accesses. */
+using TxFn = void (*)(Tx&, ArgReader&);
+
+/**
+ * Register `fn` under `name`.
+ * @return the stable FuncId (hash of the name).
+ * Registering two different functions under colliding ids is fatal.
+ */
+FuncId registerTxFunc(const std::string& name, TxFn fn);
+
+/** Look up a registered function; fatal if unknown. */
+TxFn lookupTxFunc(FuncId fid);
+
+/** Name of a registered function ("?" if unknown). */
+const char* txFuncName(FuncId fid);
+
+}  // namespace cnvm::txn
+
+#endif  // CNVM_TXN_REGISTRY_H

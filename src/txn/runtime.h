@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The failure-atomicity runtime interface.
+ *
+ * Every logging protocol in the repository — no-log, PMDK-style hybrid
+ * undo, Mnemosyne-style redo, Clobber-NVM, Atlas, iDO — implements this
+ * interface. Data structures and applications are written once against
+ * it; swapping the runtime swaps the protocol (this is how all of the
+ * paper's comparison figures are produced).
+ *
+ * store()/load() are the interposition points the Clobber-NVM compiler
+ * would insert at every memory access inside a transaction; alloc()/
+ * dealloc() are the pmalloc callbacks; txBegin()/txCommit() are the
+ * txbegin/txend macros.
+ */
+#ifndef CNVM_TXN_RUNTIME_H
+#define CNVM_TXN_RUNTIME_H
+
+#include <cstdint>
+#include <span>
+
+namespace cnvm::alloc {
+class PmAllocator;
+}
+namespace cnvm::nvm {
+class Pool;
+}
+
+namespace cnvm::txn {
+
+/** Stable identifier of a registered transaction function. */
+using FuncId = uint32_t;
+
+/** Stable identifiers recorded in the pool header. */
+enum class RuntimeKind : uint32_t {
+    noLog = 1,
+    undo = 2,       ///< PMDK model
+    redo = 3,       ///< Mnemosyne model
+    clobber = 4,
+    atlas = 5,
+    ido = 6,
+};
+
+class Runtime {
+ public:
+    virtual ~Runtime() = default;
+
+    virtual const char* name() const = 0;
+    virtual RuntimeKind kind() const = 0;
+    virtual nvm::Pool& pool() = 0;
+    virtual alloc::PmAllocator& heap() = 0;
+
+    /**
+     * Start a transaction on slot `tid`. `args` is the serialized
+     * argument blob; recovery-via-resumption runtimes persist it
+     * (the v_log), roll-back runtimes keep it volatile.
+     */
+    virtual void txBegin(unsigned tid, FuncId fid,
+                         std::span<const uint8_t> args) = 0;
+
+    /** Commit the transaction on slot `tid`. */
+    virtual void txCommit(unsigned tid) = 0;
+
+    /** The argument blob the txfunc should read (see args.h). */
+    virtual std::span<const uint8_t> argBlob(unsigned tid) const = 0;
+
+    /** Interposed store of `n` bytes to NVM address `dst`. */
+    virtual void store(unsigned tid, void* dst, const void* src,
+                       size_t n) = 0;
+
+    /** Interposed load of `n` bytes from NVM address `src`. */
+    virtual void load(unsigned tid, void* dst, const void* src,
+                      size_t n) = 0;
+
+    /**
+     * Zero-initialize freshly allocated memory. Semantically the
+     * allocator's TX_ZNEW zeroing: it is not undo-logged (the memory
+     * is not a transaction input) but still reaches the cache model
+     * (and, for redo, the write set).
+     */
+    virtual void initZero(unsigned tid, void* dst, size_t n) = 0;
+
+    /** Transactional pmalloc. @return payload pool offset. */
+    virtual uint64_t alloc(unsigned tid, size_t n) = 0;
+
+    /** Transactional free (applied at commit). */
+    virtual void dealloc(unsigned tid, uint64_t payloadOff) = 0;
+
+    /**
+     * Notification that the transaction acquired or released an inner
+     * lock. Only Atlas (which infers and orders FASEs from lock
+     * operations) persists anything here.
+     */
+    virtual void onLock(unsigned /* tid */) {}
+
+    /**
+     * Repair the pool after a crash: roll back or re-execute every
+     * interrupted transaction, then rebuild volatile allocator state.
+     */
+    virtual void recover() = 0;
+};
+
+}  // namespace cnvm::txn
+
+#endif  // CNVM_TXN_RUNTIME_H

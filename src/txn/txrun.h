@@ -1,0 +1,38 @@
+/**
+ * @file
+ * txn::run — execute a registered txfunc failure-atomically.
+ *
+ * Equivalent to the paper's pattern (Figure 2a): the caller acquires
+ * its locks, run() marks the transaction begun (persisting the v_log
+ * entry for recovery-via-resumption runtimes), invokes the txfunc with
+ * its serialized arguments, and commits. Locks are released by the
+ * caller after run() returns — conservative strong strict two-phase
+ * locking, as both PMDK and Clobber-NVM require.
+ */
+#ifndef CNVM_TXN_TXRUN_H
+#define CNVM_TXN_TXRUN_H
+
+#include "txn/args.h"
+#include "txn/engine.h"
+#include "txn/registry.h"
+#include "txn/tx.h"
+
+namespace cnvm::txn {
+
+template <typename... Args>
+void
+run(Engine& eng, FuncId fid, const Args&... args)
+{
+    ArgWriter w;
+    (writeArg(w, args), ...);
+    unsigned tid = eng.tid();
+    eng.rt.txBegin(tid, fid, w.bytes());
+    Tx tx(eng.rt, tid);
+    ArgReader r(eng.rt.argBlob(tid));
+    lookupTxFunc(fid)(tx, r);
+    eng.rt.txCommit(tid);
+}
+
+}  // namespace cnvm::txn
+
+#endif  // CNVM_TXN_TXRUN_H

@@ -1,0 +1,58 @@
+#include "workloads/memslap.h"
+
+#include <vector>
+
+namespace cnvm::wl {
+
+const std::vector<MemslapMix>&
+memslapMixes()
+{
+    static const std::vector<MemslapMix> mixes{
+        {"insert-intensive", 0.95},
+        {"insert-most", 0.75},
+        {"search-most", 0.25},
+        {"search-intensive", 0.05},
+    };
+    return mixes;
+}
+
+Memslap::Memslap(double insertFraction, uint64_t keySpace,
+                 uint64_t seed, size_t keyLen, size_t valueLen)
+    : insertFraction_(insertFraction),
+      keySpace_(keySpace),
+      keyLen_(keyLen),
+      valueLen_(valueLen),
+      rng_(seed)
+{
+}
+
+std::string
+Memslap::keyOf(uint64_t id) const
+{
+    // 16 printable bytes, uniformly distributed ids.
+    uint64_t h1 = mixHash(id + 0xfeed);
+    uint64_t h2 = mixHash(id + 0xbeef);
+    std::string s(keyLen_, '\0');
+    for (size_t i = 0; i < keyLen_; i++) {
+        uint64_t h = i < 8 ? h1 : h2;
+        s[i] = static_cast<char>('!' + ((h >> ((i % 8) * 8)) % 90));
+    }
+    return s;
+}
+
+KvRequest
+Memslap::next()
+{
+    uint64_t id = rng_.nextUint(keySpace_);
+    uint64_t i = opIndex_++;
+    if (rng_.nextBool(insertFraction_)) {
+        std::string v(valueLen_, '\0');
+        Xorshift vr(i * 11400714819323198485ULL + 3);
+        for (auto& c : v)
+            c = static_cast<char>('a' + vr.nextUint(26));
+        return {KvOp::set, keyOf(id), std::move(v)};
+    }
+    return {KvOp::get, keyOf(id), {}};
+}
+
+}  // namespace cnvm::wl

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * memslap-style request generator for the memcached experiment
+ * (paper Section 5.6): uniformly distributed 16-byte keys and 64-byte
+ * values, with a configurable insertion/search mix.
+ */
+#ifndef CNVM_WORKLOADS_MEMSLAP_H
+#define CNVM_WORKLOADS_MEMSLAP_H
+
+#include <string>
+#include <vector>
+
+#include "common/rand.h"
+
+namespace cnvm::wl {
+
+enum class KvOp { set, get };
+
+struct KvRequest {
+    KvOp op;
+    std::string key;
+    std::string value;
+};
+
+/** The paper's four workload mixes (insert fraction). */
+struct MemslapMix {
+    const char* name;
+    double insertFraction;
+};
+
+/** 95/75/25/5 % insertion, as in Figure 10. */
+const std::vector<MemslapMix>& memslapMixes();
+
+class Memslap {
+ public:
+    /**
+     * @param insertFraction probability a request is a set
+     * @param keySpace number of distinct keys
+     */
+    Memslap(double insertFraction, uint64_t keySpace,
+            uint64_t seed = 1, size_t keyLen = 16, size_t valueLen = 64);
+
+    KvRequest next();
+
+    std::string keyOf(uint64_t id) const;
+
+ private:
+    double insertFraction_;
+    uint64_t keySpace_;
+    size_t keyLen_;
+    size_t valueLen_;
+    uint64_t opIndex_ = 0;
+    Xorshift rng_;
+};
+
+}  // namespace cnvm::wl
+
+#endif  // CNVM_WORKLOADS_MEMSLAP_H

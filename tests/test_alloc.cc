@@ -1,0 +1,147 @@
+/** @file Unit tests for the persistent allocator. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/pm_allocator.h"
+#include "common/error.h"
+#include "nvm/pool.h"
+
+namespace cnvm::alloc {
+namespace {
+
+struct AllocTest : ::testing::Test {
+    void
+    SetUp() override
+    {
+        nvm::PoolConfig cfg;
+        cfg.size = 16 << 20;
+        cfg.maxThreads = 2;
+        cfg.slotBytes = 64 << 10;
+        pool = nvm::Pool::create(cfg);
+        heap = std::make_unique<PmAllocator>(*pool);
+    }
+
+    std::unique_ptr<nvm::Pool> pool;
+    std::unique_ptr<PmAllocator> heap;
+};
+
+TEST_F(AllocTest, ReserveAlignedAndSized)
+{
+    uint64_t a = heap->reserve(100);
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_EQ(heap->payloadSize(a), 100u);
+    uint64_t b = heap->reserve(100);
+    EXPECT_NE(a, b);
+}
+
+TEST_F(AllocTest, ReservationsDoNotOverlap)
+{
+    std::set<std::pair<uint64_t, uint64_t>> ranges;
+    for (int i = 1; i <= 500; i++) {
+        auto sz = static_cast<size_t>(i % 97 + 1);
+        uint64_t off = heap->reserve(sz);
+        for (const auto& [o, l] : ranges) {
+            bool disjoint = off + sz <= o || o + l <= off;
+            ASSERT_TRUE(disjoint) << "overlap at " << off;
+        }
+        ranges.emplace(off, sz);
+    }
+}
+
+TEST_F(AllocTest, ReleaseReservationReturnsSpace)
+{
+    size_t before = heap->freeBytes();
+    uint64_t a = heap->reserve(1000);
+    EXPECT_LT(heap->freeBytes(), before);
+    heap->releaseReservation(a);
+    EXPECT_EQ(heap->freeBytes(), before);
+}
+
+TEST_F(AllocTest, UncommittedReservationVanishesOnRebuild)
+{
+    size_t before = heap->freeBytes();
+    heap->reserve(1000);  // never persisted
+    heap->rebuild();
+    EXPECT_EQ(heap->freeBytes(), before);
+}
+
+TEST_F(AllocTest, CommittedAllocationSurvivesRebuild)
+{
+    size_t before = heap->freeBytes();
+    uint64_t a = heap->reserve(1000);
+    heap->persistAllocate(a);
+    pool->fence();
+    heap->rebuild();
+    EXPECT_LT(heap->freeBytes(), before);
+    EXPECT_EQ(heap->payloadSize(a), 1000u);
+    // And a fresh reservation must not land inside it.
+    uint64_t b = heap->reserve(1000);
+    EXPECT_TRUE(b + 1000 <= a - 16 || a + 1000 <= b - 16);
+}
+
+TEST_F(AllocTest, PersistFreeReturnsSpaceAcrossRebuild)
+{
+    size_t start = heap->freeBytes();
+    uint64_t a = heap->reserve(1000);
+    heap->persistAllocate(a);
+    pool->fence();
+    heap->persistFree(a);
+    pool->fence();
+    heap->rebuild();
+    EXPECT_EQ(heap->freeBytes(), start);
+}
+
+TEST_F(AllocTest, CoalescingKeepsExtentCountBounded)
+{
+    std::vector<uint64_t> offs;
+    offs.reserve(64);
+    for (int i = 0; i < 64; i++) {
+        uint64_t off = heap->reserve(64);
+        heap->persistAllocate(off);
+        offs.push_back(off);
+    }
+    pool->fence();
+    for (uint64_t off : offs) {
+        heap->persistFree(off);
+    }
+    pool->fence();
+    // All space freed and adjacent blocks coalesced back together.
+    heap->rebuild();
+    EXPECT_LE(heap->freeExtents(), 2u);
+}
+
+TEST_F(AllocTest, RevertBitsIsIdempotent)
+{
+    uint64_t a = heap->reserve(256);
+    heap->persistAllocate(a);
+    pool->fence();
+    heap->revertBits(a, 256, false);
+    heap->revertBits(a, 256, false);
+    heap->rebuild();
+    size_t freed = heap->freeBytes();
+    heap->revertBits(a, 256, true);
+    heap->revertBits(a, 256, true);
+    heap->rebuild();
+    EXPECT_LT(heap->freeBytes(), freed);
+}
+
+TEST_F(AllocTest, ExhaustionIsFatalNotUb)
+{
+    EXPECT_THROW(heap->reserve(1ULL << 40), FatalError);
+}
+
+TEST_F(AllocTest, ReattachFindsExistingHeap)
+{
+    uint64_t a = heap->reserve(512);
+    heap->persistAllocate(a);
+    pool->fence();
+    // A second allocator over the same pool must respect the bitmap.
+    PmAllocator again(*pool);
+    EXPECT_EQ(again.payloadSize(a), 512u);
+    uint64_t b = again.reserve(512);
+    EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace cnvm::alloc

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Tests for the application layer: KV server (memcached model),
+ * vacation (STAMP), and yada (Ruppert refinement) — functional
+ * behaviour, cross-runtime agreement, and crash recovery.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/kv/kv_server.h"
+#include "apps/vacation/vacation.h"
+#include "apps/yada/yada.h"
+#include "testutil.h"
+
+namespace cnvm::test {
+namespace {
+
+using txn::RuntimeKind;
+
+class KvServerTest : public ::testing::TestWithParam<RuntimeKind> {};
+
+TEST_P(KvServerTest, MemslapStyleChurnMatchesModel)
+{
+    Harness h(GetParam(), rt::ClobberPolicy::refined, 64ULL << 20);
+    auto eng = h.engine();
+    apps::KvServer::Config cfg;
+    cfg.shards = 8;
+    cfg.bucketsPerShard = 64;
+    apps::KvServer server(eng, 0, cfg);
+
+    std::map<std::string, std::string> model;
+    Xorshift rng(5);
+    for (int i = 0; i < 600; i++) {
+        char key[17];
+        std::snprintf(key, sizeof(key), "key-%012d",
+                      static_cast<int>(rng.nextUint(150)));
+        int op = static_cast<int>(rng.nextUint(10));
+        if (op < 6) {
+            std::string val(64, 'a' + static_cast<char>(i % 26));
+            server.set(key, val);
+            model[key] = val;
+        } else if (op < 8) {
+            EXPECT_EQ(server.del(key), model.erase(key) > 0);
+        } else {
+            ds::LookupResult r;
+            bool found = server.get(key, &r);
+            auto it = model.find(key);
+            ASSERT_EQ(found, it != model.end());
+            if (found)
+                ASSERT_EQ(r.str(), it->second);
+        }
+    }
+    EXPECT_EQ(server.itemCount(), model.size());
+}
+
+TEST_P(KvServerTest, SpinAndRwLockModesBehaveIdentically)
+{
+    Harness h(GetParam(), rt::ClobberPolicy::refined, 64ULL << 20);
+    auto eng = h.engine();
+    for (auto mode : {apps::KvServer::LockMode::spin,
+                      apps::KvServer::LockMode::rw}) {
+        apps::KvServer::Config cfg;
+        cfg.shards = 4;
+        cfg.bucketsPerShard = 32;
+        cfg.lockMode = mode;
+        apps::KvServer server(eng, 0, cfg);
+        for (int i = 0; i < 100; i++)
+            server.set("k" + std::to_string(i), "v" + std::to_string(i));
+        for (int i = 0; i < 100; i++) {
+            ds::LookupResult r;
+            ASSERT_TRUE(server.get("k" + std::to_string(i), &r));
+            ASSERT_EQ(r.str(), "v" + std::to_string(i));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Runtimes, KvServerTest,
+    ::testing::Values(RuntimeKind::clobber, RuntimeKind::undo,
+                      RuntimeKind::redo),
+    [](const auto& info) {
+        switch (info.param) {
+          case RuntimeKind::undo: return "pmdk";
+          case RuntimeKind::redo: return "mnemosyne";
+          default: return "clobber";
+        }
+    });
+
+TEST(KvServerCrash, InterruptedSetsRecover)
+{
+    Harness h(RuntimeKind::clobber, rt::ClobberPolicy::refined,
+              64ULL << 20);
+    auto eng = h.engine();
+    apps::KvServer::Config cfg;
+    cfg.shards = 4;
+    cfg.bucketsPerShard = 32;
+    apps::KvServer server(eng, 0, cfg);
+
+    for (int i = 0; i < 50; i++)
+        server.set("stable" + std::to_string(i), "value");
+
+    Xorshift rng(8);
+    int crashes = 0;
+    for (int i = 0; i < 60; i++) {
+        std::string key = "crash" + std::to_string(i);
+        h.pool->armWriteTrap(1 + rng.nextUint(25));
+        try {
+            server.set(key, "payload-" + std::to_string(i));
+        } catch (const nvm::CrashInjected&) {
+            crashes++;
+            h.pool->simulateCrash(i);
+            h.runtime->recover();
+        }
+        h.pool->armWriteTrap(0);
+    }
+    EXPECT_GT(crashes, 10);
+    // All stable keys must have survived; crash keys either absent or
+    // complete (clobber completes everything past the v_log persist).
+    for (int i = 0; i < 50; i++) {
+        ds::LookupResult r;
+        ASSERT_TRUE(server.get("stable" + std::to_string(i), &r));
+    }
+    for (int i = 0; i < 60; i++) {
+        ds::LookupResult r;
+        if (server.get("crash" + std::to_string(i), &r))
+            ASSERT_EQ(r.str(), "payload-" + std::to_string(i));
+    }
+}
+
+class VacationTest
+    : public ::testing::TestWithParam<apps::TableKind> {};
+
+TEST_P(VacationTest, TasksKeepTablesConsistent)
+{
+    Harness h(RuntimeKind::clobber, rt::ClobberPolicy::refined,
+              128ULL << 20);
+    auto eng = h.engine();
+    apps::Vacation::Config cfg;
+    cfg.tableKind = GetParam();
+    cfg.recordsPerTable = 128;
+    cfg.queriesPerTask = 4;
+    apps::Vacation vac(eng, 0, cfg);
+
+    ASSERT_TRUE(vac.validate());
+    for (uint64_t seed = 1; seed <= 400; seed++)
+        vac.runTask(seed);
+    EXPECT_TRUE(vac.validate());
+    EXPECT_GT(vac.totalReservations(), 0u);
+}
+
+TEST_P(VacationTest, CrashSweepPreservesAccounting)
+{
+    Harness h(RuntimeKind::clobber, rt::ClobberPolicy::refined,
+              128ULL << 20);
+    auto eng = h.engine();
+    apps::Vacation::Config cfg;
+    cfg.tableKind = GetParam();
+    cfg.recordsPerTable = 96;
+    cfg.queriesPerTask = 3;
+    apps::Vacation vac(eng, 0, cfg);
+
+    Xorshift rng(31);
+    int crashes = 0;
+    for (uint64_t seed = 1; seed <= 250; seed++) {
+        if (rng.nextBool(0.4))
+            h.pool->armWriteTrap(1 + rng.nextUint(60));
+        try {
+            vac.runTask(seed);
+        } catch (const nvm::CrashInjected&) {
+            crashes++;
+            h.pool->simulateCrash(seed);
+            h.runtime->recover();
+        }
+        h.pool->armWriteTrap(0);
+        if (seed % 50 == 0)
+            ASSERT_TRUE(vac.validate()) << "after task " << seed;
+    }
+    EXPECT_GT(crashes, 10);
+    EXPECT_TRUE(vac.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tables, VacationTest,
+    ::testing::Values(apps::TableKind::rbtree,
+                      apps::TableKind::avltree),
+    [](const auto& info) {
+        return info.param == apps::TableKind::rbtree ? "rbtree"
+                                                     : "avltree";
+    });
+
+TEST(VacationRuntimes, CrashSweepUnderRollbackRuntimes)
+{
+    // The paper's re-execution recovery is Clobber-NVM's; the
+    // roll-back baselines must keep vacation's accounting consistent
+    // under the same crash storm.
+    for (auto kind : {RuntimeKind::undo, RuntimeKind::redo}) {
+        Harness h(kind, rt::ClobberPolicy::refined, 128ULL << 20);
+        auto eng = h.engine();
+        apps::Vacation::Config cfg;
+        cfg.recordsPerTable = 96;
+        cfg.queriesPerTask = 3;
+        apps::Vacation vac(eng, 0, cfg);
+
+        Xorshift rng(61);
+        int crashes = 0;
+        for (uint64_t seed = 1; seed <= 200; seed++) {
+            if (rng.nextBool(0.4))
+                h.pool->armWriteTrap(1 + rng.nextUint(60));
+            try {
+                vac.runTask(seed);
+            } catch (const nvm::CrashInjected&) {
+                crashes++;
+                h.pool->simulateCrash(seed);
+                h.runtime->recover();
+            }
+            h.pool->armWriteTrap(0);
+        }
+        EXPECT_GT(crashes, 10);
+        EXPECT_TRUE(vac.validate())
+            << "runtime " << h.runtime->name();
+    }
+}
+
+TEST(YadaRuntimes, CrashSweepUnderRollbackRuntimes)
+{
+    for (auto kind : {RuntimeKind::undo, RuntimeKind::redo}) {
+        Harness h(kind, rt::ClobberPolicy::refined, 128ULL << 20);
+        auto eng = h.engine();
+        apps::Yada::Config cfg;
+        cfg.gridSide = 8;
+        cfg.angleConstraintDeg = 16.0;
+        apps::Yada yada(eng, 0, cfg);
+
+        Xorshift rng(53);
+        int crashes = 0;
+        uint64_t steps = 0;
+        while (yada.hasWork() && steps < 4000) {
+            if (rng.nextBool(0.25))
+                h.pool->armWriteTrap(1 + rng.nextUint(80));
+            try {
+                yada.refineStep();
+            } catch (const nvm::CrashInjected&) {
+                crashes++;
+                h.pool->simulateCrash(steps);
+                h.runtime->recover();
+            }
+            h.pool->armWriteTrap(0);
+            steps++;
+        }
+        EXPECT_GT(crashes, 5) << h.runtime->name();
+        EXPECT_FALSE(yada.hasWork()) << h.runtime->name();
+        EXPECT_TRUE(yada.validate(/* requireQuality */ true))
+            << h.runtime->name();
+    }
+}
+
+TEST(VacationRuntimes, AllRuntimesAgree)
+{
+    for (auto kind : {RuntimeKind::undo, RuntimeKind::redo,
+                      RuntimeKind::clobber}) {
+        Harness h(kind, rt::ClobberPolicy::refined, 128ULL << 20);
+        auto eng = h.engine();
+        apps::Vacation::Config cfg;
+        cfg.recordsPerTable = 64;
+        apps::Vacation vac(eng, 0, cfg);
+        for (uint64_t seed = 1; seed <= 150; seed++)
+            vac.runTask(seed);
+        ASSERT_TRUE(vac.validate());
+    }
+}
+
+TEST(YadaTest, InitialTriangulationIsValid)
+{
+    Harness h(RuntimeKind::clobber, rt::ClobberPolicy::refined,
+              128ULL << 20);
+    auto eng = h.engine();
+    apps::Yada::Config cfg;
+    cfg.gridSide = 10;
+    cfg.angleConstraintDeg = 18.0;
+    apps::Yada yada(eng, 0, cfg);
+
+    // Euler: for a triangulated convex polygon with I interior and
+    // H hull points, triangles = 2I + H - 2.
+    EXPECT_TRUE(yada.validate(/* requireQuality */ false));
+    EXPECT_EQ(yada.pointCount(), 104u);  // 100 grid + 4 corners
+    EXPECT_EQ(yada.meshSize(), 2 * 100 + 4 - 2);
+}
+
+TEST(YadaTest, RefinementReachesAngleConstraint)
+{
+    Harness h(RuntimeKind::clobber, rt::ClobberPolicy::refined,
+              128ULL << 20);
+    auto eng = h.engine();
+    apps::Yada::Config cfg;
+    cfg.gridSide = 10;
+    cfg.angleConstraintDeg = 18.0;
+    apps::Yada yada(eng, 0, cfg);
+
+    uint64_t before = yada.meshSize();
+    uint64_t steps = yada.refineAll();
+    EXPECT_FALSE(yada.hasWork());
+    EXPECT_GT(steps, 0u);
+    EXPECT_GT(yada.meshSize(), before);
+    EXPECT_TRUE(yada.validate(/* requireQuality */ true));
+}
+
+TEST(YadaTest, RefinementSurvivesCrashes)
+{
+    Harness h(RuntimeKind::clobber, rt::ClobberPolicy::refined,
+              128ULL << 20);
+    auto eng = h.engine();
+    apps::Yada::Config cfg;
+    cfg.gridSide = 8;
+    cfg.angleConstraintDeg = 16.0;
+    apps::Yada yada(eng, 0, cfg);
+
+    Xorshift rng(77);
+    int crashes = 0;
+    uint64_t steps = 0;
+    while (yada.hasWork() && steps < 4000) {
+        if (rng.nextBool(0.25))
+            h.pool->armWriteTrap(1 + rng.nextUint(80));
+        try {
+            yada.refineStep();
+        } catch (const nvm::CrashInjected&) {
+            crashes++;
+            h.pool->simulateCrash(steps);
+            h.runtime->recover();
+        }
+        h.pool->armWriteTrap(0);
+        steps++;
+    }
+    EXPECT_GT(crashes, 5);
+    EXPECT_FALSE(yada.hasWork());
+    EXPECT_TRUE(yada.validate(/* requireQuality */ true));
+}
+
+}  // namespace
+}  // namespace cnvm::test

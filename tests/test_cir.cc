@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests of the clobber-identification compiler pass: alias analysis,
+ * dominators, the conservative two-step identification (Figure 4),
+ * and the unexposed/shadowed refinement (Figure 5).
+ */
+#include <gtest/gtest.h>
+
+#include "cir/analysis.h"
+#include "cir/builders.h"
+#include "cir/clobber_pass.h"
+
+namespace cnvm::cir {
+namespace {
+
+TEST(AliasAnalysis, BasicVerdicts)
+{
+    Function f("alias");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId q = emitArg(f, b, "q");
+    ValueId m = emitMalloc(f, b, "m");
+    ValueId a = emitAlloca(f, b, "a");
+    ValueId p8 = emitGep(f, b, p, 8);
+    ValueId p8b = emitGep(f, b, p, 8);
+    ValueId p16 = emitGep(f, b, p, 16);
+    ValueId pU = emitGep(f, b, p, -1);
+    ValueId ld = emitLoad(f, b, p8);
+
+    AliasAnalysis aa(f);
+    EXPECT_EQ(aa.alias(p, p), Alias::must);
+    EXPECT_EQ(aa.alias(p8, p8b), Alias::must);   // same base+offset
+    EXPECT_EQ(aa.alias(p8, p16), Alias::no);     // distinct fields
+    EXPECT_EQ(aa.alias(p8, pU), Alias::may);     // unknown offset
+    EXPECT_EQ(aa.alias(p, q), Alias::may);       // two args
+    EXPECT_EQ(aa.alias(m, p), Alias::no);        // fresh vs arg
+    EXPECT_EQ(aa.alias(m, a), Alias::no);        // fresh vs fresh
+    EXPECT_EQ(aa.alias(ld, p), Alias::may);      // loaded pointer
+    EXPECT_EQ(aa.alias(ld, m), Alias::may);      // loaded vs fresh
+}
+
+TEST(Dominators, StraightLineAndBranch)
+{
+    Function f("dom");
+    int e = f.addBlock("entry");
+    int l = f.addBlock("left");
+    int r = f.addBlock("right");
+    int j = f.addBlock("join");
+    f.addEdge(e, l);
+    f.addEdge(e, r);
+    f.addEdge(l, j);
+    f.addEdge(r, j);
+
+    emitArg(f, e, "x");
+
+    Dominators dom(f);
+    EXPECT_TRUE(dom.blockDominates(e, l));
+    EXPECT_TRUE(dom.blockDominates(e, j));
+    EXPECT_FALSE(dom.blockDominates(l, j));
+    EXPECT_FALSE(dom.blockDominates(l, r));
+    EXPECT_TRUE(dom.mayFollow({0, 0}, {3, 0}));
+    EXPECT_FALSE(dom.mayFollow({3, 0}, {0, 0}));
+}
+
+TEST(Dominators, LoopsReachThemselves)
+{
+    Function f("loop");
+    int e = f.addBlock("entry");
+    int body = f.addBlock("body");
+    int exit = f.addBlock("exit");
+    f.addEdge(e, body);
+    f.addEdge(body, body);
+    f.addEdge(body, exit);
+    emitArg(f, e, "x");
+
+    Dominators dom(f);
+    // An instruction later in a loop body may execute before an
+    // earlier one (next iteration).
+    EXPECT_TRUE(dom.mayFollow({1, 5}, {1, 0}));
+    EXPECT_TRUE(dom.blockDominates(body, exit));
+}
+
+TEST(ClobberPass, Figure2aListInsert)
+{
+    Function f = buildListInsert();
+    ClobberResult res = analyzeClobbers(f);
+    // Exactly one clobber site: the store to lst->hd. The stores to
+    // the fresh node never alias transaction inputs.
+    EXPECT_EQ(res.refinedSites.size(), 1u);
+    EXPECT_EQ(f.at(res.refinedSites[0]).name,
+              "lst.hd = n (clobber)");
+}
+
+TEST(ClobberPass, DominatedReadIsNotAnInput)
+{
+    // store p; x = load p; store p, y  -- the read is not an input.
+    Function f("dominated_read");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId v = emitArg(f, b, "v");
+    emitStore(f, b, p, v, "init");
+    ValueId x = emitLoad(f, b, p, "read own write");
+    emitStore(f, b, p, x, "write back");
+
+    ClobberResult res = analyzeClobbers(f);
+    EXPECT_TRUE(res.candidateReads.empty());
+    EXPECT_TRUE(res.refinedSites.empty());
+}
+
+TEST(ClobberPass, ReadThenWriteIsAClobber)
+{
+    Function f("rmw");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId x = emitLoad(f, b, p, "input read");
+    ValueId y = emitBinop(f, b, x, "x+1");
+    emitStore(f, b, p, y, "clobber");
+
+    ClobberResult res = analyzeClobbers(f);
+    EXPECT_EQ(res.candidateReads.size(), 1u);
+    ASSERT_EQ(res.refinedSites.size(), 1u);
+    EXPECT_EQ(f.at(res.refinedSites[0]).name, "clobber");
+}
+
+TEST(ClobberPass, UnexposedCandidateIsRemoved)
+{
+    // Figure 5 (left): w1 dominates the read (may-alias), w2 after
+    // the read must-aliases w1 -> if w2 hits the read's location,
+    // the read was never an input.
+    Function f("unexposed");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId v = emitArg(f, b, "v");
+    ValueId exact = emitGep(f, b, p, 8, "p.f");
+    ValueId fuzzy = emitGep(f, b, p, -1, "p.?");
+    emitStore(f, b, exact, v, "w1");
+    emitLoad(f, b, fuzzy, "candidate read");
+    emitStore(f, b, exact, v, "w2 (unexposed)");
+
+    ClobberResult res = analyzeClobbers(f);
+    EXPECT_EQ(res.removedUnexposed, 1);
+    EXPECT_TRUE(res.refinedSites.empty());
+    EXPECT_EQ(res.conservativeSites.size(), 1u);
+}
+
+TEST(ClobberPass, ShadowedCandidateIsRemoved)
+{
+    // Figure 5 (right): both w1 and w2 must-alias the read; w1
+    // dominates w2, so w2's clobber is already logged.
+    Function f("shadowed");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId x = emitLoad(f, b, p, "input read");
+    ValueId y = emitBinop(f, b, x, "f(x)");
+    emitStore(f, b, p, y, "w1 (real clobber)");
+    emitStore(f, b, p, x, "w2 (shadowed)");
+
+    ClobberResult res = analyzeClobbers(f);
+    EXPECT_EQ(res.conservativeSites.size(), 2u);
+    ASSERT_EQ(res.refinedSites.size(), 1u);
+    EXPECT_EQ(f.at(res.refinedSites[0]).name, "w1 (real clobber)");
+    EXPECT_EQ(res.removedShadowed, 1);
+}
+
+TEST(ClobberPass, BranchesKeepBothSides)
+{
+    // A store on only one branch cannot shadow the other branch's.
+    Function f("branches");
+    int e = f.addBlock("entry");
+    int l = f.addBlock("left");
+    int r = f.addBlock("right");
+    int j = f.addBlock("join");
+    f.addEdge(e, l);
+    f.addEdge(e, r);
+    f.addEdge(l, j);
+    f.addEdge(r, j);
+
+    ValueId p = emitArg(f, e, "p");
+    ValueId x = emitLoad(f, e, p, "input");
+    emitStore(f, l, p, x, "left clobber");
+    emitStore(f, r, p, x, "right clobber");
+
+    ClobberResult res = analyzeClobbers(f);
+    EXPECT_EQ(res.refinedSites.size(), 2u);
+}
+
+TEST(ClobberPass, SkiplistMatchesPaperCounts)
+{
+    // Paper Section 5.9: the pass removes two of five skiplist
+    // clobber candidates, leaving three logged per transaction.
+    Function f = buildSkiplistInsert(3);
+    ClobberResult res = analyzeClobbers(f);
+    EXPECT_GT(res.conservativeSites.size(), res.refinedSites.size());
+    EXPECT_GE(res.removedShadowed + res.removedUnexposed, 2);
+}
+
+TEST(ClobberPass, EveryModuleRefinesOrHolds)
+{
+    for (const auto& mod : benchmarkModules()) {
+        for (const auto& fn : mod.functions) {
+            ClobberResult res = analyzeClobbers(fn);
+            EXPECT_LE(res.refinedSites.size(),
+                      res.conservativeSites.size())
+                << mod.name << "/" << fn.name();
+            EXPECT_LE(res.refinedPairs.size(),
+                      res.conservativePairs.size());
+            // Refinement never removes all real clobbers when any
+            // read-modify-write exists.
+            if (!res.conservativePairs.empty())
+                EXPECT_FALSE(res.refinedPairs.empty() &&
+                             res.removedUnexposed == 0 &&
+                             res.removedShadowed == 0);
+        }
+    }
+}
+
+TEST(ClobberPass, BaselineTraversalIsStable)
+{
+    Function f = buildMemcachedSet();
+    EXPECT_EQ(baselineTraversal(f), baselineTraversal(f));
+    EXPECT_NE(baselineTraversal(f),
+              baselineTraversal(buildListInsert()));
+}
+
+}  // namespace
+}  // namespace cnvm::cir

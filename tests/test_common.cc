@@ -1,0 +1,133 @@
+/** @file Unit tests for common utilities (RNG, zipfian, EpochSet). */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/epoch_set.h"
+#include "common/error.h"
+#include "common/rand.h"
+
+namespace cnvm {
+namespace {
+
+TEST(Xorshift, Deterministic)
+{
+    Xorshift a(42), b(42);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xorshift, SeedsDiffer)
+{
+    Xorshift a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Xorshift, UniformBounds)
+{
+    Xorshift r(7);
+    for (int i = 0; i < 10000; i++) {
+        EXPECT_LT(r.nextUint(17), 17u);
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Zipfian, RanksAreSkewed)
+{
+    Zipfian z(1000, 0.99, 3);
+    std::unordered_map<uint64_t, int> counts;
+    for (int i = 0; i < 100000; i++)
+        counts[z.nextRank()]++;
+    // Rank 0 must be by far the most popular.
+    int top = counts[0];
+    EXPECT_GT(top, 100000 / 20);
+    int tail = 0;
+    for (uint64_t k = 900; k < 1000; k++)
+        tail += counts[k];
+    EXPECT_LT(tail, top);
+}
+
+TEST(Zipfian, ScrambledStaysInRange)
+{
+    Zipfian z(257, 0.99, 5);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(z.next(), 257u);
+}
+
+TEST(Fnv1a, KnownProperties)
+{
+    EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ULL);
+    EXPECT_NE(fnv1a("a", 1), fnv1a("b", 1));
+    uint64_t h1 = fnv1a("hello", 5);
+    EXPECT_EQ(h1, fnv1a("hello", 5));
+}
+
+TEST(EpochSet, InsertContains)
+{
+    EpochSet s(16);
+    EXPECT_TRUE(s.insert(10));
+    EXPECT_FALSE(s.insert(10));
+    EXPECT_TRUE(s.contains(10));
+    EXPECT_FALSE(s.contains(11));
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(EpochSet, ClearIsCheapAndComplete)
+{
+    EpochSet s(16);
+    for (uint64_t i = 1; i <= 100; i++)
+        s.insert(i);
+    EXPECT_EQ(s.size(), 100u);
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    for (uint64_t i = 1; i <= 100; i++)
+        EXPECT_FALSE(s.contains(i));
+    // Reusable after clear.
+    EXPECT_TRUE(s.insert(5));
+    EXPECT_TRUE(s.contains(5));
+}
+
+TEST(EpochSet, GrowsBeyondInitialCapacity)
+{
+    EpochSet s(16);
+    for (uint64_t i = 1; i <= 10000; i++)
+        EXPECT_TRUE(s.insert(i * 977));
+    for (uint64_t i = 1; i <= 10000; i++)
+        EXPECT_TRUE(s.contains(i * 977));
+    EXPECT_EQ(s.size(), 10000u);
+}
+
+TEST(EpochSet, ForEachVisitsExactlyCurrentKeys)
+{
+    EpochSet s(16);
+    s.insert(1);
+    s.insert(2);
+    s.clear();
+    s.insert(3);
+    s.insert(4);
+    std::set<uint64_t> seen;
+    s.forEach([&](uint64_t k) { seen.insert(k); });
+    EXPECT_EQ(seen, (std::set<uint64_t>{3, 4}));
+}
+
+TEST(EpochSet, RejectsZeroKey)
+{
+    EpochSet s(16);
+    EXPECT_THROW(s.insert(0), PanicError);
+}
+
+TEST(Error, FatalAndPanicThrow)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+}  // namespace
+}  // namespace cnvm

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Crash-injection property tests: for every runtime and every possible
+ * crash point inside a transaction, the recovered state must satisfy
+ * the structure invariants and the protocol's atomicity contract
+ * (roll-back for undo/redo/atlas, roll-*forward* for Clobber-NVM).
+ */
+#include <gtest/gtest.h>
+
+#include "stats/counters.h"
+#include "testutil.h"
+
+namespace cnvm::test {
+namespace {
+
+using txn::RuntimeKind;
+
+/** Crash mode applied once the trap fires. */
+enum class CrashMode { allLost, randomTear };
+
+struct CrashCase {
+    RuntimeKind kind;
+    CrashMode mode;
+};
+
+class CrashSweep : public ::testing::TestWithParam<CrashCase> {};
+
+/**
+ * Push nodes, crashing each push at successive write counts. After
+ * recovery the list/sum invariants must hold, and the interrupted push
+ * must be either fully absent (roll-back) or fully present exactly
+ * once (Clobber re-execution).
+ */
+TEST_P(CrashSweep, PushInterruptedAtEveryWrite)
+{
+    auto [kind, mode] = GetParam();
+    Harness h(kind);
+    auto eng = h.engine();
+
+    // Committed baseline.
+    for (uint64_t v = 1; v <= 4; v++)
+        txn::run(eng, kPushNode, h.rootPtr().raw(), v);
+    uint64_t expectedSum = 10;
+    size_t expectedLen = 4;
+
+    bool sawCrash = false;
+    int quietInARow = 0;
+    for (uint64_t k = 1; quietInARow < 2 && k < 500; k++) {
+        uint64_t value = 100 + k;
+        h.pool->armWriteTrap(k);
+        bool crashed = false;
+        try {
+            txn::run(eng, kPushNode, h.rootPtr().raw(), value);
+        } catch (const nvm::CrashInjected&) {
+            crashed = true;
+            sawCrash = true;
+        }
+        h.pool->armWriteTrap(0);
+        if (crashed) {
+            quietInARow = 0;
+            if (mode == CrashMode::allLost)
+                h.pool->cache().crashAllLost();
+            else
+                h.pool->simulateCrash(1234 + k);
+            auto preRec = stats::aggregate();
+            h.runtime->recover();
+            auto rec = stats::aggregate() - preRec;
+            size_t len = h.listLen();
+            if (kind == RuntimeKind::clobber &&
+                rec[stats::Counter::reexecutions] > 0) {
+                // Recovery-via-resumption: the push completed.
+                ASSERT_EQ(len, expectedLen + 1) << "crash point " << k;
+            } else if (kind == RuntimeKind::clobber) {
+                // No re-execution: either the crash preceded the
+                // v_log persist (never begun) or followed the commit
+                // point (already durable).
+                ASSERT_TRUE(len == expectedLen || len == expectedLen + 1)
+                    << "crash point " << k;
+            } else {
+                ASSERT_TRUE(len == expectedLen || len == expectedLen + 1)
+                    << "crash point " << k;
+            }
+            if (len == expectedLen + 1) {
+                expectedLen = len;
+                expectedSum += value;
+            }
+        } else {
+            quietInARow++;
+            expectedLen++;
+            expectedSum += value;
+        }
+        // Core invariants after every iteration.
+        ASSERT_EQ(h.listLen(), expectedLen) << "crash point " << k;
+        ASSERT_EQ(h.root().sum, expectedSum) << "crash point " << k;
+        ASSERT_EQ(h.listSum(), expectedSum) << "crash point " << k;
+    }
+    EXPECT_TRUE(sawCrash);
+}
+
+/** Same sweep for pops (exercises the deferred-free protocol). */
+TEST_P(CrashSweep, PopInterruptedAtEveryWrite)
+{
+    auto [kind, mode] = GetParam();
+    Harness h(kind);
+    auto eng = h.engine();
+
+    for (uint64_t v = 1; v <= 60; v++)
+        txn::run(eng, kPushNode, h.rootPtr().raw(), v);
+    size_t expectedLen = 60;
+
+    bool sawCrash = false;
+    int quietInARow = 0;
+    for (uint64_t k = 1; quietInARow < 2 && k < 300 && expectedLen > 2;
+         k++) {
+        h.pool->armWriteTrap(k);
+        bool crashed = false;
+        try {
+            txn::run(eng, kPopNode, h.rootPtr().raw());
+        } catch (const nvm::CrashInjected&) {
+            crashed = true;
+            sawCrash = true;
+        }
+        h.pool->armWriteTrap(0);
+        if (crashed) {
+            quietInARow = 0;
+            if (mode == CrashMode::allLost)
+                h.pool->cache().crashAllLost();
+            else
+                h.pool->simulateCrash(777 + k);
+            auto preRec = stats::aggregate();
+            h.runtime->recover();
+            auto rec = stats::aggregate() - preRec;
+            size_t len = h.listLen();
+            if (kind == RuntimeKind::clobber &&
+                rec[stats::Counter::reexecutions] > 0) {
+                ASSERT_EQ(len, expectedLen - 1) << "crash point " << k;
+            } else if (kind == RuntimeKind::clobber) {
+                ASSERT_TRUE(len == expectedLen || len == expectedLen - 1)
+                    << "crash point " << k;
+            } else {
+                ASSERT_TRUE(len == expectedLen || len == expectedLen - 1)
+                    << "crash point " << k;
+            }
+            expectedLen = len;
+        } else {
+            quietInARow++;
+            expectedLen--;
+        }
+        ASSERT_EQ(h.listLen(), expectedLen);
+        ASSERT_EQ(h.root().sum, h.listSum()) << "crash point " << k;
+    }
+    EXPECT_TRUE(sawCrash);
+}
+
+/** Crash during recovery itself: recovery must be restartable. */
+TEST_P(CrashSweep, CrashDuringRecoveryIsRepairable)
+{
+    auto [kind, mode] = GetParam();
+    Harness h(kind);
+    auto eng = h.engine();
+    for (uint64_t v = 1; v <= 4; v++)
+        txn::run(eng, kPushNode, h.rootPtr().raw(), v);
+
+    // Interrupt a push mid-flight.
+    h.pool->armWriteTrap(8);
+    bool crashed = false;
+    try {
+        txn::run(eng, kPushNode, h.rootPtr().raw(), uint64_t(50));
+    } catch (const nvm::CrashInjected&) {
+        crashed = true;
+    }
+    h.pool->armWriteTrap(0);
+    ASSERT_TRUE(crashed);
+    h.pool->cache().crashAllLost();
+
+    // Now crash the recovery at successive points, then finish it.
+    for (uint64_t k = 1; k < 60; k++) {
+        h.pool->armWriteTrap(k);
+        bool recCrashed = false;
+        try {
+            h.runtime->recover();
+        } catch (const nvm::CrashInjected&) {
+            recCrashed = true;
+        }
+        h.pool->armWriteTrap(0);
+        if (!recCrashed)
+            break;
+        if (mode == CrashMode::allLost)
+            h.pool->cache().crashAllLost();
+        else
+            h.pool->simulateCrash(31 + k);
+    }
+    h.runtime->recover();
+    size_t len = h.listLen();
+    if (kind == RuntimeKind::clobber)
+        EXPECT_EQ(len, 5u);
+    else
+        EXPECT_TRUE(len == 4u || len == 5u);
+    EXPECT_EQ(h.root().sum, h.listSum());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, CrashSweep,
+    ::testing::Values(
+        CrashCase{RuntimeKind::undo, CrashMode::allLost},
+        CrashCase{RuntimeKind::undo, CrashMode::randomTear},
+        CrashCase{RuntimeKind::redo, CrashMode::allLost},
+        CrashCase{RuntimeKind::redo, CrashMode::randomTear},
+        CrashCase{RuntimeKind::clobber, CrashMode::allLost},
+        CrashCase{RuntimeKind::clobber, CrashMode::randomTear},
+        CrashCase{RuntimeKind::atlas, CrashMode::allLost},
+        CrashCase{RuntimeKind::atlas, CrashMode::randomTear}),
+    [](const auto& info) {
+        std::string name;
+        switch (info.param.kind) {
+          case RuntimeKind::undo: name = "pmdk"; break;
+          case RuntimeKind::redo: name = "mnemosyne"; break;
+          case RuntimeKind::clobber: name = "clobber"; break;
+          case RuntimeKind::atlas: name = "atlas"; break;
+          default: name = "other"; break;
+        }
+        name += info.param.mode == CrashMode::allLost ? "_alllost"
+                                                      : "_tear";
+        return name;
+    });
+
+/** Clobber re-execution must observe the *restored* inputs. */
+TEST(ClobberRecovery, ReexecutionSeesRestoredInputs)
+{
+    Harness h(RuntimeKind::clobber);
+    auto eng = h.engine();
+    for (int i = 0; i < 3; i++)
+        txn::run(eng, kIncrCounter, h.rootPtr().raw());
+    ASSERT_EQ(h.root().counter, 3u);
+
+    // Crash an increment after its clobber log + in-place store: the
+    // re-execution must produce 4, not 5.
+    uint64_t writesPerIncr;
+    {
+        uint64_t before = h.pool->writeCount();
+        txn::run(eng, kIncrCounter, h.rootPtr().raw());
+        writesPerIncr = h.pool->writeCount() - before;
+    }
+    ASSERT_EQ(h.root().counter, 4u);
+    for (uint64_t k = 1; k <= writesPerIncr; k++) {
+        uint64_t before = h.root().counter;
+        h.pool->armWriteTrap(k);
+        bool crashed = false;
+        try {
+            txn::run(eng, kIncrCounter, h.rootPtr().raw());
+            h.pool->armWriteTrap(0);
+        } catch (const nvm::CrashInjected&) {
+            crashed = true;
+            h.pool->armWriteTrap(0);
+            h.pool->cache().crashAllLost();
+        }
+        if (crashed) {
+            auto preRec = stats::aggregate();
+            h.runtime->recover();
+            auto rec = stats::aggregate() - preRec;
+            if (rec[stats::Counter::reexecutions] > 0) {
+                // Re-execution must produce exactly one increment.
+                ASSERT_EQ(h.root().counter, before + 1)
+                    << "crash point " << k;
+            } else {
+                // Never begun (pre-v_log) or already committed.
+                ASSERT_TRUE(h.root().counter == before ||
+                            h.root().counter == before + 1)
+                    << "crash point " << k;
+            }
+        } else {
+            ASSERT_EQ(h.root().counter, before + 1);
+        }
+    }
+}
+
+/** The v_log must reproduce argument bytes exactly at re-execution. */
+TEST(ClobberRecovery, VlogPreservesVolatileArguments)
+{
+    static const txn::FuncId kWriteBlob = txn::registerTxFunc(
+        "test_write_blob", [](txn::Tx& tx, txn::ArgReader& a) {
+            auto root = nvm::PPtr<TestRoot>(a.get<uint64_t>());
+            auto bytes = a.getBytes();
+            // Read-modify-write so a clobber entry + v_log both exist.
+            uint64_t c = tx.ld(root->counter);
+            tx.st(root->counter, c + 1);
+            auto node = tx.pnew<TestNode>(bytes.size());
+            tx.st(node->value, uint64_t(bytes.size()));
+            tx.stBytes(node.get() + 1, bytes.data(), bytes.size());
+            tx.st(root->head, node);
+        });
+
+    Harness h(RuntimeKind::clobber);
+    auto eng = h.engine();
+    std::string payload = "volatile-input-that-must-survive";
+
+    // Find a crash point late in the tx (after several writes).
+    h.pool->armWriteTrap(9);
+    bool crashed = false;
+    try {
+        txn::run(eng, kWriteBlob, h.rootPtr().raw(),
+                 std::string_view(payload));
+    } catch (const nvm::CrashInjected&) {
+        crashed = true;
+    }
+    h.pool->armWriteTrap(0);
+    ASSERT_TRUE(crashed);
+    h.pool->cache().crashAllLost();
+    h.runtime->recover();
+
+    ASSERT_EQ(h.root().counter, 1u);
+    auto node = h.root().head;
+    ASSERT_FALSE(node.isNull());
+    ASSERT_EQ(node->value, payload.size());
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(node.get() + 1),
+                          payload.size()),
+              payload);
+}
+
+}  // namespace
+}  // namespace cnvm::test

@@ -1,0 +1,250 @@
+/** @file Unit tests for the pool, cache model, and persistent pointers. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.h"
+
+#include "common/rand.h"
+#include "nvm/pool.h"
+#include "nvm/pptr.h"
+#include "stats/counters.h"
+
+namespace cnvm::nvm {
+namespace {
+
+std::unique_ptr<Pool>
+makePool(size_t size = 8 << 20)
+{
+    PoolConfig cfg;
+    cfg.size = size;
+    cfg.maxThreads = 4;
+    cfg.slotBytes = 64 << 10;
+    return Pool::create(cfg);
+}
+
+TEST(Pool, CreateAndLayout)
+{
+    auto p = makePool();
+    EXPECT_EQ(p->header().magic, Pool::kMagic);
+    EXPECT_EQ(p->size(), 8u << 20);
+    EXPECT_EQ(p->maxThreads(), 4u);
+    EXPECT_GT(p->heapOff(), 0u);
+    EXPECT_LT(p->heapOff(), p->size());
+    // Slots are disjoint and inside the pool.
+    for (unsigned t = 0; t < 4; t++) {
+        auto* s = static_cast<uint8_t*>(p->slot(t));
+        EXPECT_TRUE(p->contains(s));
+        EXPECT_TRUE(p->contains(s + p->slotBytes() - 1));
+    }
+    EXPECT_LE(p->offsetOf(p->slot(3)) + p->slotBytes(), p->heapOff());
+}
+
+TEST(Pool, WriteReadRoundtrip)
+{
+    auto p = makePool();
+    auto* dst = static_cast<uint8_t*>(p->at(p->heapOff() + 4096));
+    const char msg[] = "persistent";
+    p->write(dst, msg, sizeof(msg));
+    EXPECT_EQ(std::memcmp(dst, msg, sizeof(msg)), 0);
+}
+
+TEST(Pool, RootPersists)
+{
+    auto p = makePool();
+    p->setRoot(12345);
+    EXPECT_EQ(p->root(), 12345u);
+}
+
+TEST(Pool, WriteTrapFires)
+{
+    auto p = makePool();
+    uint64_t x = 1;
+    auto* dst = static_cast<uint8_t*>(p->at(p->heapOff() + 4096));
+    p->armWriteTrap(2);
+    p->write(dst, &x, sizeof(x));  // first write passes
+    EXPECT_THROW(p->write(dst, &x, sizeof(x)), CrashInjected);
+    // Disarmed after firing.
+    p->write(dst, &x, sizeof(x));
+}
+
+TEST(CacheSim, UnflushedWriteRevertsOnTotalLoss)
+{
+    auto p = makePool();
+    auto* dst = reinterpret_cast<uint64_t*>(p->at(p->heapOff() + 8192));
+    uint64_t before = 0xAAAAAAAAAAAAAAAAull;
+    p->write(dst, &before, sizeof(before));
+    p->persist(dst, sizeof(before));  // durable floor
+
+    uint64_t after = 0xBBBBBBBBBBBBBBBBull;
+    p->write(dst, &after, sizeof(after));
+    // No flush/fence: a total-loss crash must revert it.
+    p->cache().crashAllLost();
+    EXPECT_EQ(*dst, before);
+}
+
+TEST(CacheSim, FlushedAndFencedWriteSurvivesAnyCrash)
+{
+    auto p = makePool();
+    auto* dst = reinterpret_cast<uint64_t*>(p->at(p->heapOff() + 8192));
+    uint64_t v = 0x1234567890ABCDEFull;
+    p->write(dst, &v, sizeof(v));
+    p->persist(dst, sizeof(v));
+    p->cache().crashAllLost();
+    EXPECT_EQ(*dst, v);
+}
+
+TEST(CacheSim, FlushWithoutFenceGivesNoGuarantee)
+{
+    auto p = makePool();
+    auto* dst = reinterpret_cast<uint64_t*>(p->at(p->heapOff() + 8192));
+    uint64_t before = 1, after = 2;
+    p->write(dst, &before, sizeof(before));
+    p->persist(dst, sizeof(before));
+    p->write(dst, &after, sizeof(after));
+    p->flush(dst, sizeof(after));  // clwb but no sfence
+    p->cache().crashAllLost();
+    EXPECT_EQ(*dst, before);
+}
+
+TEST(CacheSim, RandomCrashTearsAtWordGranularity)
+{
+    auto p = makePool();
+    auto* dst = static_cast<uint8_t*>(p->at(p->heapOff() + 16384));
+    std::vector<uint8_t> before(256, 0x11), after(256, 0x22);
+    p->write(dst, before.data(), before.size());
+    p->persist(dst, before.size());
+    p->write(dst, after.data(), after.size());
+
+    Xorshift rng(99);
+    p->cache().crash(rng);
+    // Every 8-byte word must be entirely old or entirely new.
+    int oldWords = 0, newWords = 0;
+    for (size_t w = 0; w < 256; w += 8) {
+        bool isOld = std::memcmp(dst + w, before.data() + w, 8) == 0;
+        bool isNew = std::memcmp(dst + w, after.data() + w, 8) == 0;
+        EXPECT_TRUE(isOld || isNew) << "torn word at " << w;
+        oldWords += isOld;
+        newWords += isNew;
+    }
+    // With survival 0.5 over 32 words, both outcomes should appear.
+    EXPECT_GT(oldWords, 0);
+    EXPECT_GT(newWords, 0);
+}
+
+TEST(CacheSim, VolatileLineAccounting)
+{
+    auto p = makePool();
+    auto* dst = static_cast<uint8_t*>(p->at(p->heapOff() + 4096));
+    EXPECT_EQ(p->cache().volatileLines(), 0u);
+    uint64_t v = 7;
+    p->write(dst, &v, sizeof(v));
+    EXPECT_EQ(p->cache().volatileLines(), 1u);
+    p->write(dst + 64, &v, sizeof(v));
+    EXPECT_EQ(p->cache().volatileLines(), 2u);
+    p->persist(dst, 128);
+    EXPECT_EQ(p->cache().volatileLines(), 0u);
+}
+
+TEST(CacheSim, CountsFlushesAndFences)
+{
+    auto p = makePool();
+    auto base = stats::aggregate();
+    auto* dst = static_cast<uint8_t*>(p->at(p->heapOff() + 4096));
+    uint64_t v = 7;
+    p->write(dst, &v, sizeof(v));
+    p->flush(dst, 128);  // two lines
+    p->fence();
+    auto delta = stats::aggregate() - base;
+    EXPECT_EQ(delta[stats::Counter::flushes], 2u);
+    EXPECT_EQ(delta[stats::Counter::fences], 1u);
+    EXPECT_EQ(delta[stats::Counter::nvmWrites], 1u);
+    EXPECT_EQ(delta[stats::Counter::nvmWriteBytes], 8u);
+}
+
+TEST(PPtr, NullAndRoundtrip)
+{
+    auto p = makePool();
+    Pool::setCurrent(p.get());
+    PPtr<uint64_t> null;
+    EXPECT_TRUE(null.isNull());
+    EXPECT_EQ(null.get(), nullptr);
+
+    auto* obj = reinterpret_cast<uint64_t*>(p->at(p->heapOff() + 4096));
+    auto ptr = PPtr<uint64_t>::of(obj);
+    EXPECT_FALSE(ptr.isNull());
+    EXPECT_EQ(ptr.get(), obj);
+    EXPECT_EQ(ptr.raw(), p->offsetOf(obj));
+    Pool::setCurrent(nullptr);
+}
+
+TEST(PPtr, SurvivesRemapToDifferentBase)
+{
+    // File-backed pool reopened: base address changes, offsets hold.
+    std::string path = "/tmp/cnvm_test_remap.pool";
+    uint64_t off;
+    {
+        PoolConfig cfg;
+        cfg.path = path;
+        cfg.size = 4 << 20;
+        cfg.maxThreads = 2;
+        cfg.slotBytes = 64 << 10;
+        auto p = Pool::create(cfg);
+        Pool::setCurrent(p.get());
+        auto* obj =
+            reinterpret_cast<uint64_t*>(p->at(p->heapOff() + 4096));
+        p->write64(obj, 777);
+        p->persist(obj, 8);
+        off = p->offsetOf(obj);
+        p->setRoot(off);
+        Pool::setCurrent(nullptr);
+    }
+    {
+        auto p = Pool::open(path);
+        Pool::setCurrent(p.get());
+        PPtr<uint64_t> ptr(p->root());
+        EXPECT_EQ(ptr.raw(), off);
+        EXPECT_EQ(*ptr, 777u);
+        Pool::setCurrent(nullptr);
+    }
+    ::unlink(path.c_str());
+}
+
+TEST(PoolErrors, OpenMissingFileIsFatal)
+{
+    EXPECT_THROW(Pool::open("/tmp/cnvm_does_not_exist.pool"),
+                 FatalError);
+}
+
+TEST(PoolErrors, OpenNonPoolFileIsFatal)
+{
+    std::string path = "/tmp/cnvm_not_a_pool.bin";
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        std::string junk(1 << 20, 'x');
+        std::fwrite(junk.data(), 1, junk.size(), f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(Pool::open(path), FatalError);
+    ::unlink(path.c_str());
+}
+
+TEST(PoolErrors, TooSmallForMetadataIsFatal)
+{
+    PoolConfig cfg;
+    cfg.size = 1 << 20;  // 1 MiB cannot hold 4 x 64 KiB slots + heap
+    cfg.maxThreads = 32;
+    cfg.slotBytes = 256 << 10;
+    EXPECT_THROW(Pool::create(cfg), PanicError);
+}
+
+TEST(PoolErrors, WriteOutsidePoolIsCaught)
+{
+    auto p = makePool();
+    uint64_t v = 1;
+    EXPECT_THROW(p->write(&v, &v, sizeof(v)), PanicError);
+}
+
+}  // namespace
+}  // namespace cnvm::nvm

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Property-based sweeps: invariants that must hold across parameter
+ * ranges — value sizes, allocation patterns, repeated crash/recover
+ * cycles, and log-volume monotonicity.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "stats/counters.h"
+#include "structures/kv.h"
+#include "testutil.h"
+#include "workloads/ycsb.h"
+
+namespace cnvm::test {
+namespace {
+
+using stats::Counter;
+using txn::RuntimeKind;
+
+class ValueSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ValueSizeSweep, ClobberLogVolumeIsValueSizeIndependent)
+{
+    // The clobber_log records overwritten *inputs*; fresh value
+    // buffers are never inputs, so clobber bytes per insert must not
+    // grow with the value size (the v_log does instead).
+    size_t valLen = GetParam();
+    Harness h(RuntimeKind::clobber, rt::ClobberPolicy::refined,
+              96ULL << 20);
+    auto eng = h.engine();
+    ds::KvConfig cfg;
+    cfg.hashShards = 8;
+    cfg.hashBucketsPerShard = 64;
+    auto kv = ds::makeKv("hashmap", eng, 0, cfg);
+    wl::Ycsb gen(wl::YcsbKind::load, 300, 8, valLen);
+
+    stats::resetAll();
+    for (uint64_t i = 0; i < 300; i++)
+        kv->insert(gen.keyOf(i), gen.valueOf(i));
+    auto d = stats::aggregate();
+
+    // One 8-byte clobber entry per insert (the bucket head pointer).
+    EXPECT_EQ(d[Counter::clobberEntries], 300u);
+    EXPECT_EQ(d[Counter::clobberBytes], 300u * 8);
+    // The v_log carries the value.
+    EXPECT_GE(d[Counter::vlogBytes], 300u * valLen);
+    stats::resetAll();
+}
+
+TEST_P(ValueSizeSweep, AllRuntimesRoundTripValues)
+{
+    size_t valLen = GetParam();
+    for (auto kind : {RuntimeKind::undo, RuntimeKind::redo,
+                      RuntimeKind::clobber}) {
+        Harness h(kind, rt::ClobberPolicy::refined, 96ULL << 20);
+        auto eng = h.engine();
+        ds::KvConfig cfg;
+        cfg.hashShards = 4;
+        cfg.hashBucketsPerShard = 32;
+        auto kv = ds::makeKv("hashmap", eng, 0, cfg);
+        wl::Ycsb gen(wl::YcsbKind::load, 64, 8, valLen);
+        for (uint64_t i = 0; i < 64; i++)
+            kv->insert(gen.keyOf(i), gen.valueOf(i));
+        for (uint64_t i = 0; i < 64; i++) {
+            ds::LookupResult r;
+            ASSERT_TRUE(kv->lookup(gen.keyOf(i), &r));
+            ASSERT_EQ(r.str(), gen.valueOf(i));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ValueSizeSweep,
+                         ::testing::Values(8, 64, 256, 1000),
+                         [](const auto& info) {
+                             return "val" +
+                                    std::to_string(info.param);
+                         });
+
+TEST(AllocatorFuzz, RandomChurnMatchesModel)
+{
+    Harness h(RuntimeKind::clobber, rt::ClobberPolicy::refined,
+              64ULL << 20);
+    auto eng = h.engine();
+    size_t baseline = h.heap->freeBytes();
+
+    static const txn::FuncId kAlloc = txn::registerTxFunc(
+        "fuzz_alloc", [](txn::Tx& tx, txn::ArgReader& a) {
+            auto size = a.get<uint64_t>();
+            auto* out = reinterpret_cast<uint64_t*>(a.get<uint64_t>());
+            uint64_t off = tx.pmallocOff(size);
+            // Stamp the block so overlap corruption is detectable.
+            std::vector<uint8_t> fill(size,
+                                      static_cast<uint8_t>(size));
+            tx.stBytes(tx.pool().at(off), fill.data(), size);
+            *out = off;
+        });
+    static const txn::FuncId kFree = txn::registerTxFunc(
+        "fuzz_free", [](txn::Tx& tx, txn::ArgReader& a) {
+            tx.pfree(a.get<uint64_t>());
+        });
+
+    std::map<uint64_t, uint64_t> live;  // off -> size
+    Xorshift rng(1234);
+    for (int i = 0; i < 2000; i++) {
+        if (live.size() < 40 || rng.nextBool(0.55)) {
+            uint64_t size = 1 + rng.nextUint(700);
+            uint64_t off = 0;
+            txn::run(eng, kAlloc, size,
+                     reinterpret_cast<uint64_t>(&off));
+            // No overlap with any live block.
+            for (const auto& [o, s] : live) {
+                bool disjoint = off + size <= o || o + s <= off;
+                ASSERT_TRUE(disjoint)
+                    << "overlap: " << off << "+" << size << " vs "
+                    << o << "+" << s;
+            }
+            live[off] = size;
+        } else {
+            auto it = live.begin();
+            std::advance(it, rng.nextUint(live.size()));
+            txn::run(eng, kFree, it->first);
+            live.erase(it);
+        }
+        if (i % 500 == 0) {
+            // Stamps intact (no block was scribbled by another).
+            for (const auto& [o, s] : live) {
+                const auto* p = static_cast<const uint8_t*>(
+                    h.pool->at(o));
+                ASSERT_EQ(p[0], static_cast<uint8_t>(s));
+                ASSERT_EQ(p[s - 1], static_cast<uint8_t>(s));
+            }
+        }
+    }
+    // Free everything: the heap must return to its baseline.
+    for (const auto& [o, s] : live)
+        txn::run(eng, kFree, o);
+    EXPECT_EQ(h.heap->freeBytes(), baseline);
+}
+
+TEST(Endurance, HundredsOfCrashRecoverCycles)
+{
+    // Repeated crash + recovery must not degrade the pool: no leaks
+    // beyond live data, no corruption, monotonically growing list.
+    Harness h(RuntimeKind::clobber);
+    auto eng = h.engine();
+    Xorshift rng(99);
+    uint64_t expectedSum = 0;
+    size_t crashes = 0;
+    for (uint64_t i = 1; i <= 400; i++) {
+        h.pool->armWriteTrap(1 + rng.nextUint(18));
+        bool crashed = false;
+        try {
+            txn::run(eng, kPushNode, h.rootPtr().raw(), i);
+        } catch (const nvm::CrashInjected&) {
+            crashed = true;
+            crashes++;
+            h.pool->simulateCrash(i * 31);
+            h.runtime->recover();
+        }
+        h.pool->armWriteTrap(0);
+        if (!crashed || h.listSum() != expectedSum)
+            expectedSum += i;
+        ASSERT_EQ(h.root().sum, expectedSum) << "cycle " << i;
+        ASSERT_EQ(h.listSum(), expectedSum) << "cycle " << i;
+    }
+    EXPECT_GT(crashes, 100u);
+    // Heap accounting: free + live nodes == whole heap.
+    size_t nodeBytes = h.listLen() * 32;  // block = header + payload
+    EXPECT_LE(h.heap->freeBytes() + nodeBytes + 4096,
+              h.pool->heapSize());
+}
+
+TEST(LogVolume, UndoNeverLogsLessThanClobber)
+{
+    // Across every structure, PMDK-model undo logging must write at
+    // least as many entries as the clobber_log (Section 5.3's claim).
+    for (const auto& structure : ds::benchmarkStructures()) {
+        uint64_t clobberEntries = 0;
+        uint64_t undoEntries = 0;
+        for (auto kind : {RuntimeKind::clobber, RuntimeKind::undo}) {
+            Harness h(kind, rt::ClobberPolicy::refined, 96ULL << 20);
+            auto eng = h.engine();
+            ds::KvConfig cfg;
+            cfg.hashShards = 8;
+            cfg.hashBucketsPerShard = 64;
+            cfg.lockShards = 64;
+            auto kv = ds::makeKv(structure, eng, 0, cfg);
+            size_t keyLen = structure == "bptree" ? 32 : 8;
+            wl::Ycsb gen(wl::YcsbKind::load, 400, keyLen, 128);
+            stats::resetAll();
+            for (uint64_t i = 0; i < 400; i++)
+                kv->insert(gen.keyOf(i), gen.valueOf(i));
+            auto d = stats::aggregate();
+            if (kind == RuntimeKind::clobber)
+                clobberEntries = d[Counter::clobberEntries];
+            else
+                undoEntries = d[Counter::undoEntries];
+        }
+        EXPECT_GE(undoEntries, clobberEntries) << structure;
+        stats::resetAll();
+    }
+}
+
+TEST(LogVolume, IdoAlwaysAtLeastClobberBytes)
+{
+    // Section 5.4: "iDO will always have at least as many bytes
+    // persisted per transaction as Clobber-NVM."
+    for (const auto& structure : {"hashmap", "skiplist"}) {
+        uint64_t clobberBytes = 0;
+        uint64_t idoBytes = 0;
+        for (auto kind : {RuntimeKind::clobber, RuntimeKind::ido}) {
+            Harness h(kind, rt::ClobberPolicy::refined, 96ULL << 20);
+            auto eng = h.engine();
+            ds::KvConfig cfg;
+            cfg.hashShards = 8;
+            cfg.hashBucketsPerShard = 64;
+            auto kv = ds::makeKv(structure, eng, 0, cfg);
+            wl::Ycsb gen(wl::YcsbKind::load, 300, 8, 128);
+            stats::resetAll();
+            for (uint64_t i = 0; i < 300; i++)
+                kv->insert(gen.keyOf(i), gen.valueOf(i));
+            auto d = stats::aggregate();
+            if (kind == RuntimeKind::clobber) {
+                clobberBytes = d[Counter::clobberBytes] +
+                               d[Counter::vlogBytes];
+            } else {
+                idoBytes = d[Counter::idoBytes];
+            }
+        }
+        EXPECT_GE(idoBytes, clobberBytes) << structure;
+        stats::resetAll();
+    }
+}
+
+}  // namespace
+}  // namespace cnvm::test

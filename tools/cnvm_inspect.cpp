@@ -1,0 +1,165 @@
+/**
+ * @file
+ * cnvm_inspect: offline pool inspector.
+ *
+ * Prints a pool file's header, the state of every per-thread
+ * transaction descriptor (status, sequence number, v_log payload,
+ * intent table validity, pending log entries), and heap statistics —
+ * without mutating anything. Useful for debugging recovery issues and
+ * for verifying what survived a crash.
+ *
+ * Usage: cnvm_inspect <pool-file>
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "alloc/pm_allocator.h"
+#include "common/rand.h"
+#include "nvm/pool.h"
+#include "runtimes/descriptor.h"
+#include "txn/registry.h"
+
+using namespace cnvm;
+
+namespace {
+
+const char*
+statusName(uint64_t s)
+{
+    switch (static_cast<rt::TxStatus>(s)) {
+      case rt::TxStatus::idle: return "idle";
+      case rt::TxStatus::ongoing: return "ONGOING";
+      case rt::TxStatus::committing: return "COMMITTING";
+    }
+    return "corrupt";
+}
+
+uint64_t
+beginChecksum(const rt::TxDescriptor& d)
+{
+    uint64_t sum = fnv1a(&d.txSeq, sizeof(d.txSeq));
+    sum ^= fnv1a(&d.fid, sizeof(d.fid));
+    sum ^= fnv1a(&d.argLen, sizeof(d.argLen));
+    if (d.argLen > 0 && d.argLen <= rt::kMaxArgBytes)
+        sum ^= fnv1a(d.args, d.argLen);
+    return sum == 0 ? 1 : sum;
+}
+
+uint64_t
+intentChecksum(const rt::TxDescriptor& d)
+{
+    uint64_t sum = fnv1a(&d.intentSeq, sizeof(d.intentSeq));
+    sum ^= fnv1a(&d.intentCount, sizeof(d.intentCount));
+    sum ^= fnv1a(d.intents, d.intentCount * sizeof(rt::AllocIntent));
+    return sum == 0 ? 1 : sum;
+}
+
+/** Count self-validating log entries for the descriptor's txSeq. */
+size_t
+countLogEntries(const nvm::Pool& pool, unsigned tid,
+                const rt::TxDescriptor& d, size_t* bytes)
+{
+    const auto* area = static_cast<const uint8_t*>(pool.slot(tid)) +
+                       rt::logAreaOffset();
+    size_t cap = pool.slotBytes() - rt::logAreaOffset();
+    size_t pos = 0;
+    size_t n = 0;
+    *bytes = 0;
+    auto seqLo = static_cast<uint32_t>(d.txSeq);
+    while (pos + sizeof(rt::LogEntryHeader) <= cap) {
+        rt::LogEntryHeader h;
+        std::memcpy(&h, area + pos, sizeof(h));
+        if (h.len == 0 || h.seqLo != seqLo)
+            break;
+        size_t need = sizeof(h) + (h.len + 7) / 8 * 8;
+        if (pos + need > cap)
+            break;
+        uint64_t sum = fnv1a(&h.targetOff, sizeof(h.targetOff));
+        sum ^= fnv1a(&h.len, sizeof(h.len));
+        sum ^= fnv1a(&h.seqLo, sizeof(h.seqLo));
+        sum ^= fnv1a(area + pos + sizeof(h), h.len);
+        if (sum == 0)
+            sum = 1;
+        if (sum != h.checksum)
+            break;
+        n++;
+        *bytes += h.len;
+        pos += need;
+    }
+    return n;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <pool-file>\n", argv[0]);
+        return 2;
+    }
+    std::unique_ptr<nvm::Pool> pool;
+    try {
+        pool = nvm::Pool::open(argv[1]);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    const auto& h = pool->header();
+    std::printf("pool %s\n", argv[1]);
+    std::printf("  size        %llu MiB\n",
+                static_cast<unsigned long long>(h.size >> 20));
+    std::printf("  root        offset %llu%s\n",
+                static_cast<unsigned long long>(h.rootOff),
+                h.rootOff == 0 ? " (unset)" : "");
+    std::printf("  aux         offset %llu\n",
+                static_cast<unsigned long long>(h.auxOff));
+    std::printf("  slots       %u x %llu KiB\n", h.maxThreads,
+                static_cast<unsigned long long>(h.slotBytes >> 10));
+    std::printf("  heap        offset %llu, %llu MiB\n",
+                static_cast<unsigned long long>(h.heapOff),
+                static_cast<unsigned long long>(h.heapSize >> 20));
+
+    unsigned interrupted = 0;
+    for (unsigned tid = 0; tid < pool->maxThreads(); tid++) {
+        const auto& d =
+            *static_cast<const rt::TxDescriptor*>(pool->slot(tid));
+        bool interesting =
+            d.status != static_cast<uint64_t>(rt::TxStatus::idle) ||
+            (d.intentCount > 0 && d.intentSeq == d.txSeq);
+        if (!interesting && d.txSeq == 0)
+            continue;  // slot never used
+        size_t logBytes = 0;
+        size_t entries = countLogEntries(*pool, tid, d, &logBytes);
+        std::printf("slot %-2u %-10s seq=%llu", tid,
+                    statusName(d.status),
+                    static_cast<unsigned long long>(d.txSeq));
+        if (d.status ==
+            static_cast<uint64_t>(rt::TxStatus::ongoing)) {
+            interrupted++;
+            bool valid = beginChecksum(d) == d.beginSum;
+            std::printf(" begin=%s fid=0x%08x (%s) args=%uB",
+                        valid ? "valid" : "TORN", d.fid,
+                        txn::txFuncName(d.fid), d.argLen);
+        }
+        std::printf(" log: %zu entries / %zu B", entries, logBytes);
+        if (d.intentCount > 0 && d.intentSeq == d.txSeq) {
+            bool ok = d.intentCount <= rt::kMaxIntents &&
+                      intentChecksum(d) == d.intentSum;
+            std::printf(" intents: %u (%s)", d.intentCount,
+                        ok ? "valid" : "TORN");
+        }
+        std::printf("\n");
+    }
+
+    // Heap statistics (builds the volatile free map; read-only with
+    // respect to persistent state).
+    alloc::PmAllocator heap(*pool);
+    std::printf("heap: %zu free bytes in %zu extents\n",
+                heap.freeBytes(), heap.freeExtents());
+    std::printf("%u interrupted transaction(s)%s\n", interrupted,
+                interrupted > 0 ? " — run recovery before use" : "");
+    return 0;
+}
