@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazy_begin.dir/ablation_lazy_begin.cc.o"
+  "CMakeFiles/ablation_lazy_begin.dir/ablation_lazy_begin.cc.o.d"
+  "ablation_lazy_begin"
+  "ablation_lazy_begin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy_begin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extra_ycsb_mixes.cc" "bench/CMakeFiles/extra_ycsb_mixes.dir/extra_ycsb_mixes.cc.o" "gcc" "bench/CMakeFiles/extra_ycsb_mixes.dir/extra_ycsb_mixes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtimes/CMakeFiles/cnvm_runtimes.dir/DependInfo.cmake"
+  "/root/repo/build/src/structures/CMakeFiles/cnvm_structs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cnvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cnvm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/cnvm_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cnvm_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/cnvm_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/cnvm_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cnvm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cnvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

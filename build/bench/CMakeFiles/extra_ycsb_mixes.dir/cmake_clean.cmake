@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_ycsb_mixes.dir/extra_ycsb_mixes.cc.o"
+  "CMakeFiles/extra_ycsb_mixes.dir/extra_ycsb_mixes.cc.o.d"
+  "extra_ycsb_mixes"
+  "extra_ycsb_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_ycsb_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_memcached.dir/fig10_memcached.cc.o"
+  "CMakeFiles/fig10_memcached.dir/fig10_memcached.cc.o.d"
+  "fig10_memcached"
+  "fig10_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vacation.dir/fig11_vacation.cc.o"
+  "CMakeFiles/fig11_vacation.dir/fig11_vacation.cc.o.d"
+  "fig11_vacation"
+  "fig11_vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_yada.dir/fig12_yada.cc.o"
+  "CMakeFiles/fig12_yada.dir/fig12_yada.cc.o.d"
+  "fig12_yada"
+  "fig12_yada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_yada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

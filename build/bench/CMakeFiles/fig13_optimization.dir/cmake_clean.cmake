@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_optimization.dir/fig13_optimization.cc.o"
+  "CMakeFiles/fig13_optimization.dir/fig13_optimization.cc.o.d"
+  "fig13_optimization"
+  "fig13_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

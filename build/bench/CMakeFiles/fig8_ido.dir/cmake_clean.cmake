@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ido.dir/fig8_ido.cc.o"
+  "CMakeFiles/fig8_ido.dir/fig8_ido.cc.o.d"
+  "fig8_ido"
+  "fig8_ido.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ido.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_recovery.dir/fig9_recovery.cc.o"
+  "CMakeFiles/fig9_recovery.dir/fig9_recovery.cc.o.d"
+  "fig9_recovery"
+  "fig9_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

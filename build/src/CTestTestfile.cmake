@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("nvm")
+subdirs("sim")
+subdirs("alloc")
+subdirs("txn")
+subdirs("runtimes")
+subdirs("cir")
+subdirs("structures")
+subdirs("workloads")
+subdirs("apps")

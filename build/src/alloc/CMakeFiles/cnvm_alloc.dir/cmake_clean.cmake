@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_alloc.dir/pm_allocator.cc.o"
+  "CMakeFiles/cnvm_alloc.dir/pm_allocator.cc.o.d"
+  "libcnvm_alloc.a"
+  "libcnvm_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

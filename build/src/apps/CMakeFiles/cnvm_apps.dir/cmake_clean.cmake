@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_apps.dir/kv/kv_server.cc.o"
+  "CMakeFiles/cnvm_apps.dir/kv/kv_server.cc.o.d"
+  "CMakeFiles/cnvm_apps.dir/vacation/vacation.cc.o"
+  "CMakeFiles/cnvm_apps.dir/vacation/vacation.cc.o.d"
+  "CMakeFiles/cnvm_apps.dir/yada/yada.cc.o"
+  "CMakeFiles/cnvm_apps.dir/yada/yada.cc.o.d"
+  "libcnvm_apps.a"
+  "libcnvm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

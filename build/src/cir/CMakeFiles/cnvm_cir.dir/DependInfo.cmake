@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cir/analysis.cc" "src/cir/CMakeFiles/cnvm_cir.dir/analysis.cc.o" "gcc" "src/cir/CMakeFiles/cnvm_cir.dir/analysis.cc.o.d"
+  "/root/repo/src/cir/builders.cc" "src/cir/CMakeFiles/cnvm_cir.dir/builders.cc.o" "gcc" "src/cir/CMakeFiles/cnvm_cir.dir/builders.cc.o.d"
+  "/root/repo/src/cir/clobber_pass.cc" "src/cir/CMakeFiles/cnvm_cir.dir/clobber_pass.cc.o" "gcc" "src/cir/CMakeFiles/cnvm_cir.dir/clobber_pass.cc.o.d"
+  "/root/repo/src/cir/ir.cc" "src/cir/CMakeFiles/cnvm_cir.dir/ir.cc.o" "gcc" "src/cir/CMakeFiles/cnvm_cir.dir/ir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cnvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_cir.dir/analysis.cc.o"
+  "CMakeFiles/cnvm_cir.dir/analysis.cc.o.d"
+  "CMakeFiles/cnvm_cir.dir/builders.cc.o"
+  "CMakeFiles/cnvm_cir.dir/builders.cc.o.d"
+  "CMakeFiles/cnvm_cir.dir/clobber_pass.cc.o"
+  "CMakeFiles/cnvm_cir.dir/clobber_pass.cc.o.d"
+  "CMakeFiles/cnvm_cir.dir/ir.cc.o"
+  "CMakeFiles/cnvm_cir.dir/ir.cc.o.d"
+  "libcnvm_cir.a"
+  "libcnvm_cir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_cir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_common.dir/error.cc.o"
+  "CMakeFiles/cnvm_common.dir/error.cc.o.d"
+  "CMakeFiles/cnvm_common.dir/rand.cc.o"
+  "CMakeFiles/cnvm_common.dir/rand.cc.o.d"
+  "libcnvm_common.a"
+  "libcnvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

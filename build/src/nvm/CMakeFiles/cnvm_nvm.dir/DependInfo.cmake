@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvm/cache_sim.cc" "src/nvm/CMakeFiles/cnvm_nvm.dir/cache_sim.cc.o" "gcc" "src/nvm/CMakeFiles/cnvm_nvm.dir/cache_sim.cc.o.d"
+  "/root/repo/src/nvm/hooks.cc" "src/nvm/CMakeFiles/cnvm_nvm.dir/hooks.cc.o" "gcc" "src/nvm/CMakeFiles/cnvm_nvm.dir/hooks.cc.o.d"
+  "/root/repo/src/nvm/pool.cc" "src/nvm/CMakeFiles/cnvm_nvm.dir/pool.cc.o" "gcc" "src/nvm/CMakeFiles/cnvm_nvm.dir/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cnvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cnvm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_nvm.dir/cache_sim.cc.o"
+  "CMakeFiles/cnvm_nvm.dir/cache_sim.cc.o.d"
+  "CMakeFiles/cnvm_nvm.dir/hooks.cc.o"
+  "CMakeFiles/cnvm_nvm.dir/hooks.cc.o.d"
+  "CMakeFiles/cnvm_nvm.dir/pool.cc.o"
+  "CMakeFiles/cnvm_nvm.dir/pool.cc.o.d"
+  "libcnvm_nvm.a"
+  "libcnvm_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtimes/atlas.cc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/atlas.cc.o" "gcc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/atlas.cc.o.d"
+  "/root/repo/src/runtimes/base.cc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/base.cc.o" "gcc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/base.cc.o.d"
+  "/root/repo/src/runtimes/clobber.cc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/clobber.cc.o" "gcc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/clobber.cc.o.d"
+  "/root/repo/src/runtimes/factory.cc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/factory.cc.o" "gcc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/factory.cc.o.d"
+  "/root/repo/src/runtimes/ido.cc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/ido.cc.o" "gcc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/ido.cc.o.d"
+  "/root/repo/src/runtimes/nolog.cc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/nolog.cc.o" "gcc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/nolog.cc.o.d"
+  "/root/repo/src/runtimes/redo.cc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/redo.cc.o" "gcc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/redo.cc.o.d"
+  "/root/repo/src/runtimes/undo.cc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/undo.cc.o" "gcc" "src/runtimes/CMakeFiles/cnvm_runtimes.dir/undo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cnvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cnvm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/cnvm_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/cnvm_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cnvm_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

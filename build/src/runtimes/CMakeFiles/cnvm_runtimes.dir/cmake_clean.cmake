@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_runtimes.dir/atlas.cc.o"
+  "CMakeFiles/cnvm_runtimes.dir/atlas.cc.o.d"
+  "CMakeFiles/cnvm_runtimes.dir/base.cc.o"
+  "CMakeFiles/cnvm_runtimes.dir/base.cc.o.d"
+  "CMakeFiles/cnvm_runtimes.dir/clobber.cc.o"
+  "CMakeFiles/cnvm_runtimes.dir/clobber.cc.o.d"
+  "CMakeFiles/cnvm_runtimes.dir/factory.cc.o"
+  "CMakeFiles/cnvm_runtimes.dir/factory.cc.o.d"
+  "CMakeFiles/cnvm_runtimes.dir/ido.cc.o"
+  "CMakeFiles/cnvm_runtimes.dir/ido.cc.o.d"
+  "CMakeFiles/cnvm_runtimes.dir/nolog.cc.o"
+  "CMakeFiles/cnvm_runtimes.dir/nolog.cc.o.d"
+  "CMakeFiles/cnvm_runtimes.dir/redo.cc.o"
+  "CMakeFiles/cnvm_runtimes.dir/redo.cc.o.d"
+  "CMakeFiles/cnvm_runtimes.dir/undo.cc.o"
+  "CMakeFiles/cnvm_runtimes.dir/undo.cc.o.d"
+  "libcnvm_runtimes.a"
+  "libcnvm_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

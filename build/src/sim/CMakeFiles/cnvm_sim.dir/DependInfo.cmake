@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/context.cc" "src/sim/CMakeFiles/cnvm_sim.dir/context.cc.o" "gcc" "src/sim/CMakeFiles/cnvm_sim.dir/context.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/cnvm_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/cnvm_sim.dir/executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cnvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cnvm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/cnvm_nvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

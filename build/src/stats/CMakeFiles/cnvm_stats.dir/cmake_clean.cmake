@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_stats.dir/counters.cc.o"
+  "CMakeFiles/cnvm_stats.dir/counters.cc.o.d"
+  "CMakeFiles/cnvm_stats.dir/simtime.cc.o"
+  "CMakeFiles/cnvm_stats.dir/simtime.cc.o.d"
+  "libcnvm_stats.a"
+  "libcnvm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

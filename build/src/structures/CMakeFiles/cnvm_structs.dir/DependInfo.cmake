@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/structures/avltree.cc" "src/structures/CMakeFiles/cnvm_structs.dir/avltree.cc.o" "gcc" "src/structures/CMakeFiles/cnvm_structs.dir/avltree.cc.o.d"
+  "/root/repo/src/structures/bptree.cc" "src/structures/CMakeFiles/cnvm_structs.dir/bptree.cc.o" "gcc" "src/structures/CMakeFiles/cnvm_structs.dir/bptree.cc.o.d"
+  "/root/repo/src/structures/hashmap.cc" "src/structures/CMakeFiles/cnvm_structs.dir/hashmap.cc.o" "gcc" "src/structures/CMakeFiles/cnvm_structs.dir/hashmap.cc.o.d"
+  "/root/repo/src/structures/kv.cc" "src/structures/CMakeFiles/cnvm_structs.dir/kv.cc.o" "gcc" "src/structures/CMakeFiles/cnvm_structs.dir/kv.cc.o.d"
+  "/root/repo/src/structures/list.cc" "src/structures/CMakeFiles/cnvm_structs.dir/list.cc.o" "gcc" "src/structures/CMakeFiles/cnvm_structs.dir/list.cc.o.d"
+  "/root/repo/src/structures/rbtree.cc" "src/structures/CMakeFiles/cnvm_structs.dir/rbtree.cc.o" "gcc" "src/structures/CMakeFiles/cnvm_structs.dir/rbtree.cc.o.d"
+  "/root/repo/src/structures/skiplist.cc" "src/structures/CMakeFiles/cnvm_structs.dir/skiplist.cc.o" "gcc" "src/structures/CMakeFiles/cnvm_structs.dir/skiplist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cnvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cnvm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/cnvm_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/cnvm_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cnvm_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_structs.dir/avltree.cc.o"
+  "CMakeFiles/cnvm_structs.dir/avltree.cc.o.d"
+  "CMakeFiles/cnvm_structs.dir/bptree.cc.o"
+  "CMakeFiles/cnvm_structs.dir/bptree.cc.o.d"
+  "CMakeFiles/cnvm_structs.dir/hashmap.cc.o"
+  "CMakeFiles/cnvm_structs.dir/hashmap.cc.o.d"
+  "CMakeFiles/cnvm_structs.dir/kv.cc.o"
+  "CMakeFiles/cnvm_structs.dir/kv.cc.o.d"
+  "CMakeFiles/cnvm_structs.dir/list.cc.o"
+  "CMakeFiles/cnvm_structs.dir/list.cc.o.d"
+  "CMakeFiles/cnvm_structs.dir/rbtree.cc.o"
+  "CMakeFiles/cnvm_structs.dir/rbtree.cc.o.d"
+  "CMakeFiles/cnvm_structs.dir/skiplist.cc.o"
+  "CMakeFiles/cnvm_structs.dir/skiplist.cc.o.d"
+  "libcnvm_structs.a"
+  "libcnvm_structs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

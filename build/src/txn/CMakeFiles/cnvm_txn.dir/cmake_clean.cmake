@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_txn.dir/engine.cc.o"
+  "CMakeFiles/cnvm_txn.dir/engine.cc.o.d"
+  "CMakeFiles/cnvm_txn.dir/registry.cc.o"
+  "CMakeFiles/cnvm_txn.dir/registry.cc.o.d"
+  "libcnvm_txn.a"
+  "libcnvm_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

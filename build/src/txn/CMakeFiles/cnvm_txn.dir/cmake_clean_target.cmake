@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcnvm_txn.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/memslap.cc" "src/workloads/CMakeFiles/cnvm_workloads.dir/memslap.cc.o" "gcc" "src/workloads/CMakeFiles/cnvm_workloads.dir/memslap.cc.o.d"
+  "/root/repo/src/workloads/ycsb.cc" "src/workloads/CMakeFiles/cnvm_workloads.dir/ycsb.cc.o" "gcc" "src/workloads/CMakeFiles/cnvm_workloads.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cnvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_workloads.dir/memslap.cc.o"
+  "CMakeFiles/cnvm_workloads.dir/memslap.cc.o.d"
+  "CMakeFiles/cnvm_workloads.dir/ycsb.cc.o"
+  "CMakeFiles/cnvm_workloads.dir/ycsb.cc.o.d"
+  "libcnvm_workloads.a"
+  "libcnvm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

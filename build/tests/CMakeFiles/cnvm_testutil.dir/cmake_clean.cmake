@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_testutil.dir/testutil.cc.o"
+  "CMakeFiles/cnvm_testutil.dir/testutil.cc.o.d"
+  "libcnvm_testutil.a"
+  "libcnvm_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

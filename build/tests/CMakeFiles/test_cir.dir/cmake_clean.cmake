@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cir.dir/test_cir.cc.o"
+  "CMakeFiles/test_cir.dir/test_cir.cc.o.d"
+  "test_cir"
+  "test_cir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtimes.dir/test_runtimes.cc.o"
+  "CMakeFiles/test_runtimes.dir/test_runtimes.cc.o.d"
+  "test_runtimes"
+  "test_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_nvm "/root/repo/build/tests/test_nvm")
+set_tests_properties(test_nvm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_alloc "/root/repo/build/tests/test_alloc")
+set_tests_properties(test_alloc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runtimes "/root/repo/build/tests/test_runtimes")
+set_tests_properties(test_runtimes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_crash "/root/repo/build/tests/test_crash")
+set_tests_properties(test_crash PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_structures "/root/repo/build/tests/test_structures")
+set_tests_properties(test_structures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_apps "/root/repo/build/tests/test_apps")
+set_tests_properties(test_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cir "/root/repo/build/tests/test_cir")
+set_tests_properties(test_cir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build/tests/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_txn "/root/repo/build/tests/test_txn")
+set_tests_properties(test_txn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;23;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;24;cnvm_test;/root/repo/tests/CMakeLists.txt;0;")

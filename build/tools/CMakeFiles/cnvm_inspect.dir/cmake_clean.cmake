@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_inspect.dir/cnvm_inspect.cpp.o"
+  "CMakeFiles/cnvm_inspect.dir/cnvm_inspect.cpp.o.d"
+  "cnvm_inspect"
+  "cnvm_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
