@@ -1,0 +1,94 @@
+#include "analysis/fixtures.h"
+
+namespace cnvm::analysis {
+
+using cir::Function;
+using cir::ValueId;
+
+Function
+buildMissingFlushFixture()
+{
+    Function f("seed_missing_flush");
+    int b = f.addBlock("entry");
+    ValueId p = cir::emitArg(f, b, "p");
+    ValueId x = cir::emitLoad(f, b, p, "input read");
+    ValueId y = cir::emitBinop(f, b, x, "x+1");
+    cir::emitClobberLog(f, b, p, "clobber_log p");
+    cir::emitStore(f, b, p, y, "clobber (never flushed)");
+    cir::emitFence(f, b, "commit fence");
+    return f;
+}
+
+Function
+buildMissingFenceFixture()
+{
+    Function f("seed_missing_fence");
+    int b = f.addBlock("entry");
+    ValueId p = cir::emitArg(f, b, "p");
+    ValueId x = cir::emitLoad(f, b, p, "input read");
+    ValueId y = cir::emitBinop(f, b, x, "x+1");
+    cir::emitClobberLog(f, b, p, "clobber_log p");
+    cir::emitStore(f, b, p, y, "clobber");
+    cir::emitFlush(f, b, p, "flush (never fenced)");
+    return f;
+}
+
+Function
+buildUnloggedClobberFixture()
+{
+    Function f("seed_unlogged_clobber");
+    int b = f.addBlock("entry");
+    ValueId p = cir::emitArg(f, b, "p");
+    ValueId x = cir::emitLoad(f, b, p, "input read");
+    ValueId y = cir::emitBinop(f, b, x, "x+1");
+    cir::emitStore(f, b, p, y, "clobber (never logged)");
+    cir::emitFlush(f, b, p, "flush p");
+    cir::emitFence(f, b, "commit fence");
+    return f;
+}
+
+Function
+buildDoubleFlushFixture()
+{
+    Function f("seed_double_flush");
+    int b = f.addBlock("entry");
+    ValueId p = cir::emitArg(f, b, "p");
+    ValueId v = cir::emitArg(f, b, "v");
+    cir::emitStore(f, b, p, v, "blind store");
+    cir::emitFlush(f, b, p, "flush p");
+    cir::emitFlush(f, b, p, "flush p again (redundant)");
+    cir::emitFence(f, b, "commit fence");
+    return f;
+}
+
+Function
+buildCleanFixture()
+{
+    Function f("seed_clean");
+    int b = f.addBlock("entry");
+    ValueId p = cir::emitArg(f, b, "p");
+    ValueId x = cir::emitLoad(f, b, p, "input read");
+    ValueId y = cir::emitBinop(f, b, x, "x+1");
+    cir::emitClobberLog(f, b, p, "clobber_log p");
+    cir::emitStore(f, b, p, y, "clobber");
+    cir::emitFlush(f, b, p, "flush p");
+    cir::emitFence(f, b, "commit fence");
+    return f;
+}
+
+std::vector<SeededFixture>
+seededViolationFixtures()
+{
+    std::vector<SeededFixture> out;
+    out.push_back({buildMissingFlushFixture(),
+                   CheckKind::missingFlush});
+    out.push_back({buildMissingFenceFixture(),
+                   CheckKind::missingFence});
+    out.push_back({buildUnloggedClobberFixture(),
+                   CheckKind::unloggedClobber});
+    out.push_back({buildDoubleFlushFixture(),
+                   CheckKind::doubleFlush});
+    return out;
+}
+
+}  // namespace cnvm::analysis

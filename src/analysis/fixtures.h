@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Seeded-violation fixture functions for the persistency checker.
+ *
+ * Each builder returns a small transaction body that is correctly
+ * instrumented except for exactly one persistency bug, so a checker
+ * run must flag that bug (and nothing at error severity beyond it).
+ * Shared between tests/test_analysis.cc and the cnvm_lint self-check
+ * so the CLI proves its own detection power on every run.
+ */
+#ifndef CNVM_ANALYSIS_FIXTURES_H
+#define CNVM_ANALYSIS_FIXTURES_H
+
+#include <vector>
+
+#include "analysis/persist_check.h"
+#include "cir/ir.h"
+
+namespace cnvm::analysis {
+
+/** RMW with clobber_log and fence, but the store is never flushed. */
+cir::Function buildMissingFlushFixture();
+
+/** RMW logged and flushed, but no fence before transaction end. */
+cir::Function buildMissingFenceFixture();
+
+/** RMW flushed and fenced, but the clobber site is never logged. */
+cir::Function buildUnloggedClobberFixture();
+
+/** Blind store flushed twice with no re-dirtying write between. */
+cir::Function buildDoubleFlushFixture();
+
+/** Fully instrumented RMW: the checker must report nothing. */
+cir::Function buildCleanFixture();
+
+struct SeededFixture {
+    cir::Function fn;
+    CheckKind expected;
+};
+
+/** The four violation fixtures with their expected findings. */
+std::vector<SeededFixture> seededViolationFixtures();
+
+}  // namespace cnvm::analysis
+
+#endif  // CNVM_ANALYSIS_FIXTURES_H

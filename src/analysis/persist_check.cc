@@ -1,0 +1,277 @@
+#include "analysis/persist_check.h"
+
+#include <set>
+#include <sstream>
+
+namespace cnvm::analysis {
+
+using cir::Alias;
+using cir::AliasAnalysis;
+using cir::Dominators;
+using cir::Function;
+using cir::Instr;
+using cir::InstrRef;
+using cir::Op;
+
+const char*
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::info: return "info";
+      case Severity::warning: return "warning";
+      case Severity::error: return "error";
+    }
+    return "?";
+}
+
+const char*
+checkKindName(CheckKind k)
+{
+    switch (k) {
+      case CheckKind::missingFlush: return "missing-flush";
+      case CheckKind::missingFence: return "missing-fence";
+      case CheckKind::doubleFlush: return "double-flush";
+      case CheckKind::unloggedClobber: return "unlogged-clobber";
+      case CheckKind::unneededClobberLog:
+        return "unneeded-clobber-log";
+    }
+    return "?";
+}
+
+bool
+PersistReport::clean() const
+{
+    return count(Severity::error) == 0;
+}
+
+int
+PersistReport::count(Severity s) const
+{
+    int n = 0;
+    for (const auto& v : violations)
+        n += v.severity == s ? 1 : 0;
+    return n;
+}
+
+int
+PersistReport::count(CheckKind k) const
+{
+    int n = 0;
+    for (const auto& v : violations)
+        n += v.kind == k ? 1 : 0;
+    return n;
+}
+
+bool
+PersistReport::has(CheckKind k) const
+{
+    return count(k) > 0;
+}
+
+std::string
+PersistReport::summary(const Function& f) const
+{
+    std::ostringstream os;
+    os << f.name() << ": " << storesChecked << " stores, "
+       << flushesChecked << " flushes, " << clobberSitesChecked
+       << " clobber sites checked — " << count(Severity::error)
+       << " errors, " << count(Severity::warning) << " warnings, "
+       << count(Severity::info) << " info";
+    return os.str();
+}
+
+std::string
+PersistReport::toString(const Function& f) const
+{
+    std::ostringstream os;
+    os << summary(f) << "\n";
+    for (const auto& v : violations) {
+        os << "  [" << severityName(v.severity) << "] "
+           << checkKindName(v.kind) << " at b" << v.at.block << ":i"
+           << v.at.index;
+        const std::string& nm = f.at(v.at).name;
+        if (!nm.empty())
+            os << " '" << nm << "'";
+        if (!v.detail.empty())
+            os << " — " << v.detail;
+        os << "\n";
+    }
+    return os.str();
+}
+
+PersistReport
+checkPersistency(const Function& f)
+{
+    AliasAnalysis aa(f);
+    Dominators dom(f);
+    PersistReport out;
+
+    auto stores =
+        f.collect([](const Instr& i) { return i.op == Op::store; });
+    auto flushes =
+        f.collect([](const Instr& i) { return i.op == Op::flush; });
+    auto fences =
+        f.collect([](const Instr& i) { return i.op == Op::fence; });
+    auto clogs = f.collect(
+        [](const Instr& i) { return i.op == Op::clobberlog; });
+
+    // (a) Every NVM store needs a must-aliasing flush before the
+    // transaction ends. A flush *before* the store persists nothing.
+    for (const auto& s : stores) {
+        if (aa.basedOnAlloca(f.at(s).ptr))
+            continue;  // stack storage is volatile by contract
+        out.storesChecked++;
+        bool onAllPaths = false;
+        bool onSomePath = false;
+        for (const auto& fl : flushes) {
+            if (aa.alias(f.at(fl).ptr, f.at(s).ptr) != Alias::must)
+                continue;
+            if (dom.alwaysFollows(s, fl))
+                onAllPaths = true;
+            else if (dom.mayFollow(s, fl))
+                onSomePath = true;
+        }
+        if (!onAllPaths && !onSomePath) {
+            out.violations.push_back(
+                {CheckKind::missingFlush, Severity::error, s,
+                 "no flush of this location reaches transaction end"});
+        } else if (!onAllPaths) {
+            out.violations.push_back(
+                {CheckKind::missingFlush, Severity::warning, s,
+                 "flushed on some paths only"});
+        }
+    }
+
+    // (b) Every flush must be ordered by a later fence, or the line
+    // can still be lost at the commit point.
+    for (const auto& fl : flushes) {
+        out.flushesChecked++;
+        bool onAllPaths = false;
+        bool onSomePath = false;
+        for (const auto& fn : fences) {
+            if (dom.alwaysFollows(fl, fn))
+                onAllPaths = true;
+            else if (dom.mayFollow(fl, fn))
+                onSomePath = true;
+        }
+        if (!onAllPaths && !onSomePath) {
+            out.violations.push_back(
+                {CheckKind::missingFence, Severity::error, fl,
+                 "no fence follows this flush"});
+        } else if (!onAllPaths) {
+            out.violations.push_back(
+                {CheckKind::missingFence, Severity::warning, fl,
+                 "fenced on some paths only"});
+        }
+    }
+
+    // (c) Two must-aliasing flushes with no re-dirtying store in
+    // between: the second clwb is pure overhead.
+    for (const auto& f1 : flushes) {
+        for (const auto& f2 : flushes) {
+            if (f1 == f2 || !dom.dominates(f1, f2))
+                continue;
+            if (aa.alias(f.at(f1).ptr, f.at(f2).ptr) != Alias::must)
+                continue;
+            bool redirtied = false;
+            for (const auto& s : stores) {
+                if (aa.alias(f.at(s).ptr, f.at(f2).ptr) == Alias::no)
+                    continue;
+                if (dom.mayFollow(f1, s) && dom.mayFollow(s, f2)) {
+                    redirtied = true;
+                    break;
+                }
+            }
+            if (!redirtied) {
+                out.violations.push_back(
+                    {CheckKind::doubleFlush, Severity::warning, f2,
+                     "line already flushed and not re-dirtied"});
+            }
+        }
+    }
+
+    // (d) Every refined clobber site needs a dominating clobber_log
+    // of its location; a clobber_log covering no site is dead weight.
+    cir::ClobberResult clob = cir::analyzeClobbers(f);
+    for (const auto& site : clob.refinedSites) {
+        if (aa.basedOnAlloca(f.at(site).ptr))
+            continue;  // volatile scratch: never logged
+        out.clobberSitesChecked++;
+        bool logged = false;
+        for (const auto& c : clogs) {
+            if (aa.alias(f.at(c).ptr, f.at(site).ptr) == Alias::must &&
+                dom.dominates(c, site)) {
+                logged = true;
+                break;
+            }
+        }
+        if (!logged) {
+            out.violations.push_back(
+                {CheckKind::unloggedClobber, Severity::error, site,
+                 "refined clobber site has no dominating clobber_log"});
+        }
+    }
+    for (const auto& c : clogs) {
+        bool useful = false;
+        for (const auto& site : clob.refinedSites) {
+            if (aa.alias(f.at(c).ptr, f.at(site).ptr) == Alias::must &&
+                dom.dominates(c, site)) {
+                useful = true;
+                break;
+            }
+        }
+        if (!useful) {
+            out.violations.push_back(
+                {CheckKind::unneededClobberLog, Severity::info, c,
+                 "logs a location no refined site clobbers"});
+        }
+    }
+
+    return out;
+}
+
+cir::Function
+instrumentPersistency(const Function& f, const cir::ClobberResult& res)
+{
+    AliasAnalysis aa(f);
+    std::set<std::pair<int, int>> sites;
+    for (const auto& s : res.refinedSites)
+        sites.emplace(s.block, s.index);
+
+    Function out(f.name());
+    for (const auto& block : f.blocks())
+        out.addBlock(block.label);
+    for (int b = 0; b < static_cast<int>(f.blocks().size()); b++) {
+        for (int s : f.blocks()[b].succs)
+            out.addEdge(b, s);
+    }
+
+    for (int b = 0; b < static_cast<int>(f.blocks().size()); b++) {
+        const auto& instrs = f.blocks()[b].instrs;
+        for (int i = 0; i < static_cast<int>(instrs.size()); i++) {
+            Instr copy = instrs[i];
+            bool nvmStore = copy.op == Op::store &&
+                            !aa.basedOnAlloca(copy.ptr);
+            if (nvmStore && sites.count({b, i}))
+                cir::emitClobberLog(out, b, copy.ptr,
+                                    "clobber_log " + copy.name);
+            // append() re-derives result ids; the intrinsics define
+            // none, so the original numbering is preserved.
+            copy.result = cir::kNoValue;
+            out.append(b, copy);
+            if (nvmStore)
+                cir::emitFlush(out, b, copy.ptr,
+                               "flush " + copy.name);
+        }
+    }
+    for (int b = 0; b < static_cast<int>(f.blocks().size()); b++) {
+        bool leaves = false;
+        for (int s : f.blocks()[b].succs)
+            leaves = leaves || s != b;
+        if (!leaves)
+            cir::emitFence(out, b, "commit fence");
+    }
+    return out;
+}
+
+}  // namespace cnvm::analysis

@@ -5,7 +5,7 @@
 namespace cnvm::cir {
 
 AliasAnalysis::AliasAnalysis(const Function& f)
-    : info_(f.numValues())
+    : info_(f.numValues()), allocaBase_(f.numValues(), false)
 {
     for (const auto& block : f.blocks()) {
         for (const auto& instr : block.instrs) {
@@ -23,6 +23,7 @@ AliasAnalysis::AliasAnalysis(const Function& f)
                 pi.kind = BaseKind::fresh;
                 pi.base = instr.result;
                 pi.offsetKnown = true;
+                allocaBase_[instr.result] = instr.op == Op::alloca_;
                 break;
               case Op::gep: {
                 const PtrInfo& base = info_[instr.value];
@@ -32,6 +33,7 @@ AliasAnalysis::AliasAnalysis(const Function& f)
                 } else {
                     pi.offset = base.offset + instr.offset;
                 }
+                allocaBase_[instr.result] = allocaBase_[instr.value];
                 break;
               }
               case Op::load:
@@ -47,6 +49,12 @@ AliasAnalysis::AliasAnalysis(const Function& f)
             }
         }
     }
+}
+
+bool
+AliasAnalysis::basedOnAlloca(ValueId p) const
+{
+    return allocaBase_[p];
 }
 
 Alias
@@ -113,6 +121,42 @@ Dominators::Dominators(const Function& f) : f_(f)
         }
     }
 
+    // Post-dominators, by the same dataflow over the reversed CFG:
+    // pdom(b) = {b} U intersect(succs). Exit blocks are those with no
+    // successors; a pure self-loop (terminal spin) also terminates.
+    std::vector<bool> isExit(n, false);
+    for (int b = 0; b < n; b++) {
+        bool leaves = false;
+        for (int s : f.blocks()[b].succs)
+            leaves = leaves || s != b;
+        isExit[b] = !leaves;
+    }
+    pdom_.assign(n, std::vector<bool>(n, true));
+    for (int b = 0; b < n; b++) {
+        if (isExit[b]) {
+            pdom_[b].assign(n, false);
+            pdom_[b][b] = true;
+        }
+    }
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = n - 1; b >= 0; b--) {
+            if (isExit[b])
+                continue;
+            std::vector<bool> next(n, true);
+            for (int s : f.blocks()[b].succs) {
+                for (int i = 0; i < n; i++)
+                    next[i] = next[i] && pdom_[s][i];
+            }
+            next[b] = true;
+            if (next != pdom_[b]) {
+                pdom_[b] = next;
+                changed = true;
+            }
+        }
+    }
+
     // Block reachability closure (including cycles back to self).
     reach_.assign(n, std::vector<bool>(n, false));
     for (int b = 0; b < n; b++) {
@@ -149,11 +193,27 @@ Dominators::dominates(const InstrRef& a, const InstrRef& b) const
 }
 
 bool
+Dominators::blockPostDominates(int a, int b) const
+{
+    return pdom_[b][a];
+}
+
+bool
 Dominators::mayFollow(const InstrRef& a, const InstrRef& b) const
 {
     if (a.block == b.block && a.index < b.index)
         return true;
     return reach_[a.block][b.block];
+}
+
+bool
+Dominators::alwaysFollows(const InstrRef& a, const InstrRef& b) const
+{
+    // Within a block, execution runs to the block's end: everything
+    // after a executes.
+    if (a.block == b.block)
+        return b.index > a.index;
+    return blockPostDominates(b.block, a.block);
 }
 
 }  // namespace cnvm::cir

@@ -29,6 +29,12 @@ class AliasAnalysis {
     /** Relationship between the targets of two pointer values. */
     Alias alias(ValueId p, ValueId q) const;
 
+    /**
+     * True iff the pointer provably targets stack (alloca) storage —
+     * volatile memory that needs no flush/fence discipline.
+     */
+    bool basedOnAlloca(ValueId p) const;
+
  private:
     enum class BaseKind { arg, fresh, loaded, unknown };
 
@@ -40,6 +46,7 @@ class AliasAnalysis {
     };
 
     std::vector<PtrInfo> info_;
+    std::vector<bool> allocaBase_;
 };
 
 /** Dominator relation over blocks and instructions. */
@@ -49,15 +56,32 @@ class Dominators {
 
     bool blockDominates(int a, int b) const;
 
+    /**
+     * True iff every path from b to function end passes through a.
+     * Exit blocks are those with no successors; a block whose only
+     * successor is itself (terminal spin in the mini-IR encodings)
+     * also counts as an exit.
+     */
+    bool blockPostDominates(int a, int b) const;
+
     /** True iff instruction a executes on every path before b. */
     bool dominates(const InstrRef& a, const InstrRef& b) const;
 
     /** True iff b may execute after a on some path. */
     bool mayFollow(const InstrRef& a, const InstrRef& b) const;
 
+    /**
+     * True iff once a has executed, b executes before the function
+     * ends, on every path (the post-dominance analogue of
+     * dominates()). Used by the persistency checker to prove a store
+     * is always flushed and a flush is always fenced.
+     */
+    bool alwaysFollows(const InstrRef& a, const InstrRef& b) const;
+
  private:
     const Function& f_;
     std::vector<std::vector<bool>> dom_;    ///< dom_[b][a]: a dom b
+    std::vector<std::vector<bool>> pdom_;   ///< pdom_[b][a]: a pdom b
     std::vector<std::vector<bool>> reach_;  ///< reach_[a][b]
 };
 

@@ -73,4 +73,34 @@ emitBinop(Function& f, int block, ValueId in, const std::string& name)
     return f.append(block, i);
 }
 
+void
+emitFlush(Function& f, int block, ValueId ptr, const std::string& name)
+{
+    Instr i;
+    i.op = Op::flush;
+    i.ptr = ptr;
+    i.name = name;
+    f.append(block, i);
+}
+
+void
+emitFence(Function& f, int block, const std::string& name)
+{
+    Instr i;
+    i.op = Op::fence;
+    i.name = name;
+    f.append(block, i);
+}
+
+void
+emitClobberLog(Function& f, int block, ValueId ptr,
+               const std::string& name)
+{
+    Instr i;
+    i.op = Op::clobberlog;
+    i.ptr = ptr;
+    i.name = name;
+    f.append(block, i);
+}
+
 }  // namespace cnvm::cir

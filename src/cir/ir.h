@@ -41,6 +41,19 @@ enum class Op {
     br,        ///< unconditional branch (succ0)
     condbr,    ///< conditional branch (succ0 / succ1)
     ret,
+    /**
+     * @name Persistence intrinsics
+     * The instructions the Clobber-NVM compiler *inserts*: clwb of the
+     * line holding *operand0, sfence, and the clobber_log callback
+     * logging the old value at *operand0. The clobber pass never
+     * consumes them; the persistency checker (src/analysis) audits
+     * them against the stores.
+     */
+    /// @{
+    flush,       ///< clwb of the line containing *operand0
+    fence,       ///< sfence (orders all prior flushes)
+    clobberlog,  ///< clobber_log(*operand0) instrumentation call
+    /// @}
 };
 
 struct Instr {
@@ -146,6 +159,11 @@ void emitStore(Function& f, int block, ValueId ptr, ValueId value,
                const std::string& name = "");
 ValueId emitBinop(Function& f, int block, ValueId in,
                   const std::string& name = "");
+void emitFlush(Function& f, int block, ValueId ptr,
+               const std::string& name = "");
+void emitFence(Function& f, int block, const std::string& name = "");
+void emitClobberLog(Function& f, int block, ValueId ptr,
+                    const std::string& name = "");
 
 }  // namespace cnvm::cir
 

@@ -16,6 +16,8 @@ CacheSim::willWrite(uint64_t off, size_t len)
     uint64_t last = (off + len - 1) / kCacheLine;
     std::lock_guard<std::mutex> g(mu_);
     for (uint64_t ln = first; ln <= last; ln++) {
+        if (lineObs_)
+            lineObs_->lineDirtied(ln);
         auto [it, inserted] = lines_.try_emplace(ln);
         if (inserted) {
             std::memcpy(it->second.snapshot.data(),
@@ -46,6 +48,8 @@ CacheSim::flush(uint64_t off, size_t len)
             if (it != lines_.end() && !it->second.pending) {
                 it->second.pending = true;
                 pending_.push_back(ln);
+                if (lineObs_)
+                    lineObs_->lineFlushed(ln);
             }
         }
     }
@@ -65,6 +69,8 @@ CacheSim::fence()
                 lines_.erase(it);
         }
         pending_.clear();
+        if (lineObs_)
+            lineObs_->fenceRetired();
     }
     stats::bump(stats::Counter::fences);
     if (auto* obs = persistObserver())
@@ -93,6 +99,8 @@ CacheSim::crashImpl(Xorshift* rng, const CrashParams& p)
     }
     lines_.clear();
     pending_.clear();
+    if (lineObs_)
+        lineObs_->trackingReset();
     return reverted;
 }
 
@@ -122,6 +130,15 @@ CacheSim::discardAll()
     std::lock_guard<std::mutex> g(mu_);
     lines_.clear();
     pending_.clear();
+    if (lineObs_)
+        lineObs_->trackingReset();
+}
+
+void
+CacheSim::setLineObserver(LineObserver* obs)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    lineObs_ = obs;
 }
 
 }  // namespace cnvm::nvm

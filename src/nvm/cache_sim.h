@@ -44,6 +44,26 @@ struct CrashParams {
     double pendingSurvival = 0.75;
 };
 
+/**
+ * Receives the raw cache-line state-transition stream of one CacheSim
+ * (the dynamic persistency validator's feed). Unlike PersistObserver
+ * (per-thread, timing-oriented, see hooks.h) this is per-pool and
+ * reports individual line numbers. Callbacks run under the cache
+ * mutex; implementations must not call back into the CacheSim.
+ */
+class LineObserver {
+ public:
+    virtual ~LineObserver() = default;
+    /** Line `line` became (or stayed) dirty via a store. */
+    virtual void lineDirtied(uint64_t line) = 0;
+    /** Line `line` moved dirty -> pending via a clwb. */
+    virtual void lineFlushed(uint64_t line) = 0;
+    /** All pending lines became durable via an sfence. */
+    virtual void fenceRetired() = 0;
+    /** All tracking dropped (crash or clean shutdown). */
+    virtual void trackingReset() = 0;
+};
+
 class CacheSim {
  public:
     explicit CacheSim(uint8_t* base) : base_(base) {}
@@ -79,6 +99,12 @@ class CacheSim {
     /** Drop all tracking without mutating memory (clean shutdown). */
     void discardAll();
 
+    /**
+     * Install (or clear, with nullptr) the line-event observer. The
+     * hot paths pay a single null check when none is installed.
+     */
+    void setLineObserver(LineObserver* obs);
+
  private:
     struct Line {
         std::array<uint8_t, kCacheLine> snapshot;
@@ -88,6 +114,7 @@ class CacheSim {
     size_t crashImpl(Xorshift* rng, const CrashParams& p);
 
     uint8_t* base_;
+    LineObserver* lineObs_ = nullptr;
     mutable std::mutex mu_;
     std::unordered_map<uint64_t, Line> lines_;
     /** lines with a clwb issued since the last fence (fast fence) */

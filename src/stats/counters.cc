@@ -52,6 +52,11 @@ counterName(Counter c)
       case Counter::frees: return "frees";
       case Counter::recoveries: return "recoveries";
       case Counter::reexecutions: return "reexecutions";
+      case Counter::persistChecks: return "persist_checks";
+      case Counter::persistDirtyAtCommit:
+        return "persist_dirty_at_commit";
+      case Counter::persistPendingAtCommit:
+        return "persist_pending_at_commit";
       case Counter::kNumCounters: break;
     }
     return "unknown";

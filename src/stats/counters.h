@@ -44,6 +44,9 @@ enum class Counter : unsigned {
     frees,
     recoveries,       ///< transactions repaired at recovery
     reexecutions,     ///< transactions re-executed at recovery
+    persistChecks,    ///< commits audited by the durability validator
+    persistDirtyAtCommit,    ///< lines dirty (never flushed) at commit
+    persistPendingAtCommit,  ///< lines flushed but unfenced at commit
     kNumCounters
 };
 

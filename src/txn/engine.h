@@ -20,10 +20,24 @@ void setThreadTid(unsigned tid);
 /** The calling context's runtime slot. */
 unsigned currentTid();
 
+/**
+ * Hook notified after every txCommit issued through txn::run. The
+ * durability validator (src/analysis/durability.h) implements this to
+ * audit the cache-model state at each commit point; when no observer
+ * is installed the commit path pays one predictable null check.
+ */
+class CommitObserver {
+ public:
+    virtual ~CommitObserver() = default;
+    virtual void afterCommit(unsigned tid) = 0;
+};
+
 struct Engine {
-    explicit Engine(Runtime& runtime) : rt(runtime) {}
+    explicit Engine(Runtime& runtime, CommitObserver* obs = nullptr)
+        : rt(runtime), commitObserver(obs) {}
 
     Runtime& rt;
+    CommitObserver* commitObserver = nullptr;
 
     unsigned tid() const { return currentTid(); }
 };

@@ -31,6 +31,8 @@ run(Engine& eng, FuncId fid, const Args&... args)
     ArgReader r(eng.rt.argBlob(tid));
     lookupTxFunc(fid)(tx, r);
     eng.rt.txCommit(tid);
+    if (eng.commitObserver) [[unlikely]]
+        eng.commitObserver->afterCommit(tid);
 }
 
 }  // namespace cnvm::txn

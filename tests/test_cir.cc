@@ -184,6 +184,80 @@ TEST(ClobberPass, BranchesKeepBothSides)
     EXPECT_EQ(res.refinedSites.size(), 2u);
 }
 
+TEST(ClobberPass, BothRefinementsFireInOneFunction)
+{
+    // The unexposed pattern (on p) and the shadowed pattern (on q)
+    // concatenated in one body: each removal must fire independently
+    // and only the real clobber survives.
+    Function f("both_refinements");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId q = emitArg(f, b, "q");
+    ValueId v = emitArg(f, b, "v");
+    // Unexposed: w1 dominates the fuzzy read and must-aliases w2.
+    ValueId exact = emitGep(f, b, p, 8, "p.f");
+    ValueId fuzzy = emitGep(f, b, p, -1, "p.?");
+    emitStore(f, b, exact, v, "w1");
+    emitLoad(f, b, fuzzy, "unexposed read");
+    emitStore(f, b, exact, v, "w2 (unexposed)");
+    // Shadowed: w3 must-aliases and dominates w4.
+    ValueId x = emitLoad(f, b, q, "input read");
+    ValueId y = emitBinop(f, b, x, "f(x)");
+    emitStore(f, b, q, y, "w3 (real clobber)");
+    emitStore(f, b, q, x, "w4 (shadowed)");
+
+    ClobberResult res = analyzeClobbers(f);
+    EXPECT_GE(res.removedUnexposed, 1);
+    EXPECT_GE(res.removedShadowed, 1);
+    ASSERT_EQ(res.refinedSites.size(), 1u);
+    EXPECT_EQ(f.at(res.refinedSites[0]).name, "w3 (real clobber)");
+}
+
+TEST(ClobberPass, SiteSurvivesOnlyViaSecondPair)
+{
+    // S pairs with two reads. The (r1, S) pair dies as unexposed
+    // (w0 dominates r1 and must-aliases S), but w0 sits on a branch,
+    // so it neither unexposes nor shadows the entry read r2 — S must
+    // stay instrumented via (r2, S) alone.
+    Function f("second_pair");
+    int e = f.addBlock("entry");
+    int l = f.addBlock("left");
+    int r = f.addBlock("right");
+    int j = f.addBlock("join");
+    f.addEdge(e, l);
+    f.addEdge(e, r);
+    f.addEdge(l, j);
+    f.addEdge(r, j);
+
+    ValueId p = emitArg(f, e, "p");
+    ValueId v = emitArg(f, e, "v");
+    ValueId pU = emitGep(f, e, p, -1, "p.u");
+    ValueId pU2 = emitGep(f, e, p, -1, "p.u2");
+    ValueId p16 = emitGep(f, e, p, 16, "p.g");
+    emitLoad(f, e, p16, "r2 (wide read)");
+    emitStore(f, l, pU, v, "w0");
+    emitLoad(f, l, pU2, "r1 (unexposed)");
+    emitStore(f, j, pU, v, "S (second-pair survivor)");
+
+    ClobberResult res = analyzeClobbers(f);
+    EXPECT_EQ(res.removedUnexposed, 1);
+    // Both w0 (clobbers r2 on the left path) and S survive.
+    ASSERT_EQ(res.refinedSites.size(), 2u);
+    bool sSurvives = false;
+    for (const auto& site : res.refinedSites)
+        sSurvives |= f.at(site).name == "S (second-pair survivor)";
+    EXPECT_TRUE(sSurvives);
+    // S's only surviving pair is with the entry read r2.
+    int sPairs = 0;
+    for (const auto& [rd, st] : res.refinedPairs) {
+        if (f.at(st).name != "S (second-pair survivor)")
+            continue;
+        sPairs++;
+        EXPECT_EQ(f.at(rd).name, "r2 (wide read)");
+    }
+    EXPECT_EQ(sPairs, 1);
+}
+
 TEST(ClobberPass, SkiplistMatchesPaperCounts)
 {
     // Paper Section 5.9: the pass removes two of five skiplist

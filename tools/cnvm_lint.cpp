@@ -1,0 +1,255 @@
+/**
+ * @file
+ * cnvm_lint: the persistency checker CLI.
+ *
+ * Three phases, any failure exits non-zero:
+ *
+ *  1. Detection self-check — every seeded-violation fixture
+ *     (missing flush, missing fence, unlogged clobber, double flush)
+ *     must be flagged with its expected finding; the clean fixture
+ *     must report nothing. A lint that cannot catch planted bugs
+ *     proves nothing about real ones.
+ *  2. Static lint — every registered benchmark CIR function is run
+ *     through the clobber pass, instrumented (clobber_log + flush +
+ *     commit fence, as the compiler would emit), and the result must
+ *     check clean: zero errors, zero warnings.
+ *  3. Dynamic validation — each of the six runtimes executes a short
+ *     mixed workload (including a crashAllLost + recovery round trip)
+ *     with the DurabilityValidator attached; no commit may leave a
+ *     dirty line. The no-log baseline claims no durability and is
+ *     audited with that contract.
+ *
+ * Usage: cnvm_lint [-v]
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "alloc/pm_allocator.h"
+#include "analysis/durability.h"
+#include "analysis/fixtures.h"
+#include "analysis/persist_check.h"
+#include "cir/builders.h"
+#include "cir/clobber_pass.h"
+#include "nvm/pool.h"
+#include "nvm/pptr.h"
+#include "runtimes/factory.h"
+#include "txn/txrun.h"
+
+using namespace cnvm;
+
+namespace {
+
+bool verbose = false;
+
+/** Minimal persistent root for the dynamic workload. */
+struct LintRoot {
+    uint64_t counter;
+    uint64_t sum;
+    nvm::PPtr<struct LintNode> head;
+};
+
+struct LintNode {
+    uint64_t value;
+    nvm::PPtr<LintNode> next;
+};
+
+void
+incrFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<LintRoot>(a.get<uint64_t>());
+    tx.st(root->counter, tx.ld(root->counter) + 1);
+}
+
+void
+pushFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<LintRoot>(a.get<uint64_t>());
+    auto value = a.get<uint64_t>();
+    auto node = tx.pnew<LintNode>();
+    tx.st(node->value, value);
+    tx.st(node->next, tx.ld(root->head));
+    tx.st(root->head, node);
+    tx.st(root->sum, tx.ld(root->sum) + value);
+}
+
+void
+popFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<LintRoot>(a.get<uint64_t>());
+    auto head = tx.ld(root->head);
+    if (head.isNull())
+        return;
+    uint64_t value = tx.ld(head->value);
+    tx.st(root->head, tx.ld(head->next));
+    tx.st(root->sum, tx.ld(root->sum) - value);
+    tx.pfree(head);
+}
+
+const txn::FuncId kLintIncr = txn::registerTxFunc("lint_incr", incrFn);
+const txn::FuncId kLintPush = txn::registerTxFunc("lint_push", pushFn);
+const txn::FuncId kLintPop = txn::registerTxFunc("lint_pop", popFn);
+const txn::FuncId kLintMakeRoot = txn::registerTxFunc(
+    "lint_make_root", [](txn::Tx& tx, txn::ArgReader&) {
+        auto r = tx.pnew<LintRoot>();
+        tx.pool().setRoot(r.raw());
+    });
+
+bool
+runFixtureSelfCheck()
+{
+    bool ok = true;
+    for (const auto& [fn, expected] :
+         analysis::seededViolationFixtures()) {
+        auto rep = analysis::checkPersistency(fn);
+        if (!rep.has(expected)) {
+            std::printf("FAIL %s: seeded %s not flagged\n",
+                        fn.name().c_str(),
+                        analysis::checkKindName(expected));
+            ok = false;
+        } else if (verbose) {
+            std::printf("%s", rep.toString(fn).c_str());
+        }
+    }
+    cir::Function clean = analysis::buildCleanFixture();
+    auto rep = analysis::checkPersistency(clean);
+    if (!rep.violations.empty()) {
+        std::printf("FAIL %s: false positive on clean fixture\n%s",
+                    clean.name().c_str(),
+                    rep.toString(clean).c_str());
+        ok = false;
+    }
+    std::printf("fixture self-check: %s\n", ok ? "ok" : "FAILED");
+    return ok;
+}
+
+bool
+runStaticLint()
+{
+    bool ok = true;
+    size_t functions = 0;
+    for (const auto& mod : cir::benchmarkModules()) {
+        for (const auto& fn : mod.functions) {
+            functions++;
+            cir::ClobberResult res = cir::analyzeClobbers(fn);
+            cir::Function inst =
+                analysis::instrumentPersistency(fn, res);
+            auto rep = analysis::checkPersistency(inst);
+            bool bad = !rep.clean() ||
+                       rep.count(analysis::Severity::warning) > 0;
+            if (bad || verbose)
+                std::printf("%s/%s", mod.name.c_str(),
+                            rep.toString(inst).c_str());
+            ok = ok && !bad;
+        }
+    }
+    std::printf("static lint: %zu functions, %s\n", functions,
+                ok ? "ok" : "FAILED");
+    return ok;
+}
+
+bool
+runDynamicValidation(txn::RuntimeKind kind, const char* name)
+{
+    nvm::PoolConfig cfg;
+    cfg.size = 32ULL << 20;
+    cfg.maxThreads = 8;
+    cfg.slotBytes = 128ULL << 10;
+    auto pool = nvm::Pool::create(cfg);
+    nvm::Pool::setCurrent(pool.get());
+    alloc::PmAllocator heap(*pool);
+    auto rt = rt::makeRuntime(kind, *pool, heap);
+
+    // Bootstrap the root before attaching so setup writes are not
+    // part of the audit (they are persisted by the bootstrap commit).
+    txn::Engine boot(*rt);
+    txn::run(boot, kLintMakeRoot);
+
+    analysis::DurabilityValidator::Options opt;
+    opt.requireDurability = kind != txn::RuntimeKind::noLog;
+    analysis::DurabilityValidator validator(pool->cache(), opt);
+    txn::Engine eng(*rt, &validator);
+    uint64_t rootOff = pool->root();
+
+    for (uint64_t v = 1; v <= 20; v++)
+        txn::run(eng, kLintPush, rootOff, v);
+    for (int i = 0; i < 10; i++)
+        txn::run(eng, kLintIncr, rootOff);
+    for (int i = 0; i < 5; i++)
+        txn::run(eng, kLintPop, rootOff);
+
+    // Power-loss round trip: recovery must restart the audit from a
+    // consistent image and stay clean afterwards.
+    pool->cache().crashAllLost();
+    rt->recover();
+    for (uint64_t v = 1; v <= 10; v++)
+        txn::run(eng, kLintPush, rootOff, 100 + v);
+    for (int i = 0; i < 10; i++)
+        txn::run(eng, kLintPop, rootOff);
+
+    bool ok = validator.violations().empty();
+    std::printf("dynamic %-10s %s (%s)\n", name,
+                ok ? "ok" : "FAILED", validator.summary().c_str());
+    if (!ok) {
+        for (const auto& v : validator.violations()) {
+            std::printf("  commit #%llu tid=%u: %zu dirty, %zu "
+                        "pending line(s)\n",
+                        static_cast<unsigned long long>(v.commitIndex),
+                        v.tid, v.dirtyLines, v.pendingLines);
+        }
+    }
+    nvm::Pool::setCurrent(nullptr);
+    return ok;
+}
+
+/** The validator itself must catch a planted dynamic violation. */
+bool
+runDynamicSelfCheck()
+{
+    nvm::PoolConfig cfg;
+    cfg.size = 8ULL << 20;
+    cfg.maxThreads = 2;
+    cfg.slotBytes = 64ULL << 10;
+    auto pool = nvm::Pool::create(cfg);
+    analysis::DurabilityValidator validator(pool->cache());
+    // A raw store that bypasses any runtime: dirty, never flushed.
+    uint64_t junk = 0xDEAD;
+    pool->writeAt(pool->heapOff(), &junk, sizeof(junk));
+    validator.afterCommit(0);
+    bool ok = validator.violations().size() == 1 &&
+              validator.violations()[0].dirtyLines == 1;
+    std::printf("dynamic self-check: %s\n", ok ? "ok" : "FAILED");
+    return ok;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "-v") == 0) {
+            verbose = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [-v]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    bool ok = runFixtureSelfCheck();
+    ok = runStaticLint() && ok;
+    ok = runDynamicSelfCheck() && ok;
+
+    static const std::pair<txn::RuntimeKind, const char*> kKinds[] = {
+        {txn::RuntimeKind::noLog, "nolog"},
+        {txn::RuntimeKind::undo, "pmdk"},
+        {txn::RuntimeKind::redo, "mnemosyne"},
+        {txn::RuntimeKind::clobber, "clobber"},
+        {txn::RuntimeKind::atlas, "atlas"},
+        {txn::RuntimeKind::ido, "ido"},
+    };
+    for (const auto& [kind, name] : kKinds)
+        ok = runDynamicValidation(kind, name) && ok;
+
+    std::printf("cnvm_lint: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
