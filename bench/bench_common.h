@@ -12,6 +12,7 @@
  * Scale knobs (environment):
  *   CNVM_OPS        total operations per configuration (default varies)
  *   CNVM_MAXTHREADS cap for the thread sweep (default 24)
+ *   CNVM_POOL_MB    pool size in MiB (default 512)
  */
 #ifndef CNVM_BENCH_COMMON_H
 #define CNVM_BENCH_COMMON_H
@@ -31,15 +32,28 @@
 
 namespace cnvm::bench {
 
-/** Pool + heap + runtime bundle for one benchmark configuration. */
+inline size_t
+envSize(const char* name, size_t dflt)
+{
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::strtoull(v, nullptr, 10) : dflt;
+}
+
+/**
+ * Pool + heap + runtime bundle for one benchmark configuration.
+ * The default 512 MiB pool can be shrunk via CNVM_POOL_MB so benches
+ * run on small CI machines; an explicit poolBytes wins over both.
+ */
 class Env {
  public:
     explicit Env(txn::RuntimeKind kind,
                  rt::ClobberPolicy policy = rt::ClobberPolicy::refined,
-                 size_t poolBytes = 512ULL << 20)
+                 size_t poolBytes = 0)
     {
         nvm::PoolConfig cfg;
-        cfg.size = poolBytes;
+        cfg.size = poolBytes != 0
+                       ? poolBytes
+                       : envSize("CNVM_POOL_MB", 512) << 20;
         cfg.maxThreads = 32;
         cfg.slotBytes = 256ULL << 10;
         pool = nvm::Pool::create(cfg);
@@ -60,13 +74,6 @@ class Env {
     std::unique_ptr<alloc::PmAllocator> heap;
     std::unique_ptr<txn::Runtime> runtime;
 };
-
-inline size_t
-envSize(const char* name, size_t dflt)
-{
-    const char* v = std::getenv(name);
-    return v != nullptr ? std::strtoull(v, nullptr, 10) : dflt;
-}
 
 /** Total operations per configuration. */
 inline size_t

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Rebuild and run the NVM hot-path microbenchmark, refreshing
+# BENCH_hotpath.json at the repo root.
+#
+# Knobs (env): CNVM_OPS (stores/thread, default 1000000),
+# CNVM_MAXTHREADS, CNVM_POOL_MB, BUILD_DIR (default build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target micro_hotpath -j "$(nproc)"
+
+CNVM_OPS="${CNVM_OPS:-1000000}" \
+    "$BUILD_DIR/bench/micro_hotpath" BENCH_hotpath.json
+echo "wrote $(pwd)/BENCH_hotpath.json"

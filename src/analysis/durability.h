@@ -19,6 +19,15 @@
  * pre-existing setup writes never produce false positives. Attaching
  * is the only cost knob: with no observer installed, CacheSim and
  * txn::run each pay a single null check (zero-cost-when-off).
+ *
+ * Attaching also disables CacheSim's per-thread dirty-line fast path
+ * (the install bumps the sim's epoch, and no cache refills happen
+ * while an observer is present), so the validator still receives every
+ * per-line transition — including re-dirties of already-dirty lines —
+ * exactly as the pre-sharding single-table implementation reported
+ * them. Callbacks now arrive under the owning *shard's* lock rather
+ * than one global mutex; the validator's own mutex serializes them.
+ * Attach/detach during quiescence.
  */
 #ifndef CNVM_ANALYSIS_DURABILITY_H
 #define CNVM_ANALYSIS_DURABILITY_H

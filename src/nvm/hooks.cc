@@ -1,5 +1,7 @@
 #include "nvm/hooks.h"
 
+#include "stats/counters.h"
+
 namespace cnvm::nvm {
 
 namespace {
@@ -16,6 +18,22 @@ PersistObserver*
 persistObserver()
 {
     return tlsObserver;
+}
+
+void
+notifyFlush(uint64_t nlines, uint64_t bytes)
+{
+    stats::bump(stats::Counter::flushes, nlines);
+    if (tlsObserver != nullptr)
+        tlsObserver->flushed(bytes);
+}
+
+void
+notifyFence()
+{
+    stats::bump(stats::Counter::fences);
+    if (tlsObserver != nullptr)
+        tlsObserver->fenced();
 }
 
 }  // namespace cnvm::nvm

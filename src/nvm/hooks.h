@@ -1,15 +1,28 @@
 /**
  * @file
- * Observer interface connecting the NVM layer to the timing simulator.
+ * Per-thread hooks connecting the NVM layer to the rest of the system:
  *
- * The NVM layer (cache model) reports flush/fence events; the logical-
- * thread executor in src/sim installs a per-thread observer that converts
- * them into simulated stall time. When no observer is installed (unit
- * tests, real-thread mode) events are only counted.
+ *  - PersistObserver: reports flush/fence events to the timing
+ *    simulator. The logical-thread executor in src/sim installs a
+ *    per-thread observer that converts them into simulated stall time;
+ *    when none is installed (unit tests, real-thread mode) events are
+ *    only counted.
+ *  - notifyFlush()/notifyFence(): the single place where a persistence
+ *    event bumps the stats counter *and* feeds the observer, so every
+ *    flush path (range flush, batched line flush, fence) accounts
+ *    identically.
+ *  - DirtyLineCache: the per-thread epoch-tagged cache of lines this
+ *    thread already dirtied. Pool::write consults it to skip the shard
+ *    lock of CacheSim entirely for repeated stores to a dirty line; any
+ *    event that can move a line out of the dirty state (flush, fence,
+ *    crash, observer install) invalidates all caches by bumping the
+ *    owning CacheSim's epoch.
  */
 #ifndef CNVM_NVM_HOOKS_H
 #define CNVM_NVM_HOOKS_H
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace cnvm::nvm {
@@ -29,6 +42,44 @@ void setPersistObserver(PersistObserver* obs);
 
 /** The calling thread's observer, or nullptr. */
 PersistObserver* persistObserver();
+
+/**
+ * Account one clwb burst of `nlines` adjacent lines (`bytes` total):
+ * bumps the flush counter and reports the calling thread's
+ * PersistObserver in one place.
+ */
+void notifyFlush(uint64_t nlines, uint64_t bytes);
+
+/** Account one sfence: counter bump + observer notification. */
+void notifyFence();
+
+/**
+ * Direct-mapped, epoch-tagged cache of cache-line numbers the calling
+ * thread knows to be dirty in some CacheSim. A way is valid iff its
+ * epoch equals the probing CacheSim's current epoch; epochs are drawn
+ * from a process-global counter, so a value never recurs across sims
+ * (or across flush/fence/crash boundaries within one sim) and stale
+ * ways simply miss. Collisions evict silently — the cache is purely an
+ * optimization; the shard table stays authoritative.
+ */
+struct DirtyLineCache {
+    static constexpr size_t kWays = 1024;   // 16 KiB per thread
+
+    struct Way {
+        uint64_t line1 = 0;   ///< line number + 1; 0 = empty
+        uint64_t epoch = 0;   ///< epoch the entry was inserted under
+    };
+
+    std::array<Way, kWays> ways;
+};
+
+/** The calling thread's dirty-line cache. Inline: probed per store. */
+inline DirtyLineCache&
+dirtyLineCache()
+{
+    static thread_local DirtyLineCache tc;
+    return tc;
+}
 
 }  // namespace cnvm::nvm
 

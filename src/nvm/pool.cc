@@ -160,9 +160,13 @@ Pool::write(void* dst, const void* src, size_t n)
     if (trapCountdown_ > 0 && --trapCountdown_ == 0)
         throw CrashInjected{};
     cache_->willWrite(offsetOf(dst), n);
-    std::memcpy(dst, src, n);
-    stats::bump(stats::Counter::nvmWrites);
-    stats::bump(stats::Counter::nvmWriteBytes, n);
+    if (n == 8)
+        std::memcpy(dst, src, 8);  // common pointer/field case
+    else
+        std::memcpy(dst, src, n);
+    auto& tc = stats::local();
+    tc.add(stats::Counter::nvmWrites);
+    tc.add(stats::Counter::nvmWriteBytes, n);
 }
 
 void
@@ -181,6 +185,12 @@ void
 Pool::flush(const void* addr, size_t n)
 {
     cache_->flush(offsetOf(addr), n);
+}
+
+void
+Pool::flushLines(uint64_t* lines, size_t n)
+{
+    cache_->flushLines(lines, n);
 }
 
 void

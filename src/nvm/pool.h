@@ -107,6 +107,13 @@ class Pool {
     /** Write an 8-byte value (the common pointer/field case). */
     void write64(void* dst, uint64_t v);
     void flush(const void* addr, size_t n);
+    /**
+     * Batched clwb of `n` arbitrary cache-line numbers (commit-time
+     * write-back of a dirty-line set). Sorts `lines` in place and
+     * coalesces adjacent lines into single bursts; see
+     * CacheSim::flushLines.
+     */
+    void flushLines(uint64_t* lines, size_t n);
     void fence();
     /** flush + fence. */
     void persist(const void* addr, size_t n);

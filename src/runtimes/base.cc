@@ -102,10 +102,11 @@ void
 RuntimeBase::flushDirty(unsigned tid)
 {
     SlotState& s = slot(tid);
+    s.flushScratch.clear();
     s.dirtyLines.forEach([&](uint64_t lnPlus1) {
-        pool_.flush(pool_.at((lnPlus1 - 1) * nvm::kCacheLine),
-                    nvm::kCacheLine);
+        s.flushScratch.push_back(lnPlus1 - 1);
     });
+    pool_.flushLines(s.flushScratch.data(), s.flushScratch.size());
     s.dirtyLines.clear();
 }
 

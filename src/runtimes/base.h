@@ -62,6 +62,8 @@ class RuntimeBase : public txn::Runtime {
         EpochSet regionWriteSet{4096};
         /** allocation actions (payloadOff, isFree) */
         std::vector<std::pair<uint64_t, bool>> actions;
+        /** reusable buffer for batched commit-time write-back */
+        std::vector<uint64_t> flushScratch;
         /** bytes used in the slot's log area */
         size_t logTail = 0;
 

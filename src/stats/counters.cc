@@ -107,13 +107,6 @@ ThreadCounters::~ThreadCounters()
     std::erase(r.live, this);
 }
 
-ThreadCounters&
-local()
-{
-    static thread_local ThreadCounters tc;
-    return tc;
-}
-
 Snapshot
 aggregate()
 {

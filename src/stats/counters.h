@@ -93,8 +93,14 @@ class ThreadCounters {
     Snapshot snap_;
 };
 
-/** The calling thread's counter block. */
-ThreadCounters& local();
+/** The calling thread's counter block. Inline: bump() is on the
+ *  per-store hot path of the NVM model. */
+inline ThreadCounters&
+local()
+{
+    static thread_local ThreadCounters tc;
+    return tc;
+}
 
 /** Shorthand: bump a counter on the calling thread. */
 inline void

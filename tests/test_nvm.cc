@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 #include "common/error.h"
 
@@ -161,6 +163,74 @@ TEST(CacheSim, CountsFlushesAndFences)
     EXPECT_EQ(delta[stats::Counter::fences], 1u);
     EXPECT_EQ(delta[stats::Counter::nvmWrites], 1u);
     EXPECT_EQ(delta[stats::Counter::nvmWriteBytes], 8u);
+}
+
+/**
+ * Real std::thread stress for the sharded CacheSim: concurrent store
+ * bursts (fast path + shard inserts), batched flushes, fences, and
+ * O(1) volatileLines() polling, plus mutex-guarded writes to one
+ * shared line so cross-thread dirty/flush transitions happen. Runs
+ * under -DCNVM_SANITIZE=ON; all cross-thread accesses to pool bytes
+ * are lock-ordered so the test is also TSan-clean.
+ */
+TEST(CacheSimConcurrency, ShardedStressSurvivesCrash)
+{
+    auto p = makePool(32 << 20);
+    constexpr unsigned kThreads = 4;
+    constexpr size_t kStripeLines = 96;  // spans several shard blocks
+    const size_t iters = 1500;
+    uint64_t heap = p->heapOff();
+    uint64_t sharedOff = heap + 4096;
+    std::mutex sharedMu;
+    auto stripeOff = [&](unsigned t) {
+        return heap + (64 << 10) +
+               t * (kStripeLines * kCacheLine + 4096);
+    };
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; t++) {
+        threads.emplace_back([&, t] {
+            uint64_t base = stripeOff(t);
+            std::vector<uint64_t> lines;
+            for (size_t i = 0; i < iters; i++) {
+                lines.clear();
+                for (size_t l = 0; l < 8; l++) {
+                    uint64_t ln = (i + l * 7) % kStripeLines;
+                    uint64_t off = base + ln * kCacheLine + (i % 8) * 8;
+                    uint64_t v = t * 1000003 + i;
+                    p->writeAt(off, &v, sizeof(v));
+                    // Repeat store to the same line: fast-path food.
+                    p->writeAt(off, &v, sizeof(v));
+                    lines.push_back(off / kCacheLine);
+                }
+                p->flushLines(lines.data(), lines.size());
+                p->fence();
+                {
+                    std::lock_guard<std::mutex> g(sharedMu);
+                    uint64_t sv = t;
+                    p->writeAt(sharedOff + t * 8, &sv, sizeof(sv));
+                    if (i % 4 == 0)
+                        p->persist(p->at(sharedOff), sizeof(sv));
+                }
+                if (i % 64 == 0)
+                    (void)p->cache().volatileLines();
+            }
+            uint64_t fin = 0xF00D0000ull + t;
+            p->writeAt(base, &fin, sizeof(fin));
+            p->persist(p->at(base), sizeof(fin));
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    // Worst-case power loss: everything fenced must survive.
+    p->cache().crashAllLost();
+    for (unsigned t = 0; t < kThreads; t++) {
+        uint64_t got;
+        std::memcpy(&got, p->at(stripeOff(t)), sizeof(got));
+        EXPECT_EQ(got, 0xF00D0000ull + t);
+    }
+    EXPECT_EQ(p->cache().volatileLines(), 0u);
 }
 
 TEST(PPtr, NullAndRoundtrip)
