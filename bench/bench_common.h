@@ -13,10 +13,13 @@
  *   CNVM_OPS        total operations per configuration (default varies)
  *   CNVM_MAXTHREADS cap for the thread sweep (default 24)
  *   CNVM_POOL_MB    pool size in MiB (default 512)
+ *   CNVM_SMOKE      =1: CI smoke mode — tiny op counts, two threads,
+ *                   64 MiB pool. Explicit knobs above still win.
  */
 #ifndef CNVM_BENCH_COMMON_H
 #define CNVM_BENCH_COMMON_H
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -39,6 +42,14 @@ envSize(const char* name, size_t dflt)
     return v != nullptr ? std::strtoull(v, nullptr, 10) : dflt;
 }
 
+/** CI smoke mode: just prove the bench binaries run end to end. */
+inline bool
+smokeMode()
+{
+    const char* v = std::getenv("CNVM_SMOKE");
+    return v != nullptr && v[0] == '1';
+}
+
 /**
  * Pool + heap + runtime bundle for one benchmark configuration.
  * The default 512 MiB pool can be shrunk via CNVM_POOL_MB so benches
@@ -53,7 +64,8 @@ class Env {
         nvm::PoolConfig cfg;
         cfg.size = poolBytes != 0
                        ? poolBytes
-                       : envSize("CNVM_POOL_MB", 512) << 20;
+                       : envSize("CNVM_POOL_MB", smokeMode() ? 64 : 512)
+                             << 20;
         cfg.maxThreads = 32;
         cfg.slotBytes = 256ULL << 10;
         pool = nvm::Pool::create(cfg);
@@ -79,6 +91,8 @@ class Env {
 inline size_t
 totalOps(size_t dflt)
 {
+    if (smokeMode())
+        dflt = std::min<size_t>(dflt, 2000);
     return envSize("CNVM_OPS", dflt);
 }
 
@@ -86,7 +100,8 @@ totalOps(size_t dflt)
 inline std::vector<unsigned>
 threadSweep()
 {
-    auto cap = static_cast<unsigned>(envSize("CNVM_MAXTHREADS", 24));
+    auto cap = static_cast<unsigned>(
+        envSize("CNVM_MAXTHREADS", smokeMode() ? 2 : 24));
     std::vector<unsigned> out;
     for (unsigned t : {1u, 2u, 4u, 8u, 16u, 24u}) {
         if (t <= cap)

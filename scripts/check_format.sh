@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Formatting gate for CI and pre-commit use: runs clang-format in dry
+# mode over the first-party C++ sources and fails on any diff. Exits
+# 0 with a notice when clang-format is not installed, so local builds
+# on minimal machines are never blocked.
+set -u
+
+cd "$(dirname "$0")/.."
+
+FMT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FMT" >/dev/null 2>&1; then
+    echo "check_format: $FMT not found; skipping format check" >&2
+    exit 0
+fi
+
+mapfile -t files < <(find src tools tests bench \
+    \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) | sort)
+
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "check_format: no sources found" >&2
+    exit 1
+fi
+
+if "$FMT" --dry-run -Werror "${files[@]}"; then
+    echo "check_format: ${#files[@]} files clean"
+    exit 0
+fi
+
+echo "" >&2
+echo "check_format: style violations found." >&2
+echo "Fix with: $FMT -i <file>  (config: .clang-format)" >&2
+exit 1

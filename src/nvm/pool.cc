@@ -244,4 +244,11 @@ Pool::simulateCrash(uint64_t seed)
     return cache_->crash(rng);
 }
 
+size_t
+Pool::simulateCrash(uint64_t seed, const CrashParams& params)
+{
+    Xorshift rng(seed);
+    return cache_->crash(rng, params);
+}
+
 }  // namespace cnvm::nvm

@@ -148,6 +148,9 @@ class Pool {
      */
     size_t simulateCrash(uint64_t seed);
 
+    /** simulateCrash with explicit torn-write survival knobs. */
+    size_t simulateCrash(uint64_t seed, const CrashParams& params);
+
     /**
      * Arm a trap that throws CrashInjected instead of performing the
      * `countdown`-th subsequent write (1 = the very next write).

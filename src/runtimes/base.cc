@@ -263,15 +263,24 @@ RuntimeBase::finishIntentsAfterCommit(unsigned tid)
             anyFree = true;
         }
     }
+    // The fence must retire the bitmap clears BEFORE the table is
+    // invalidated: if intentCount = 0 could become durable while a
+    // free's bitmap word tore, recovery would see no live table and
+    // the freed block would leak forever.
+    if (anyFree)
+        pool_.fence();
     TxDescriptor& d = desc(tid);
     uint32_t zero = 0;
     pool_.write(&d.intentCount, &zero, sizeof(zero));
     pool_.flush(&d.intentCount, sizeof(zero));
-    if (anyFree)
-        pool_.fence();
-    // Without frees the cleared count may persist lazily: recovering
-    // with a stale live table on an idle slot only re-runs the
-    // (idempotent) free-completion path, which is then empty.
+    // The invalidation must be durable BEFORE persistIdle's status
+    // write can be: a live table on a durably-idle slot is
+    // indistinguishable from a crash before the commit record, and
+    // recovery would roll back this committed transaction's
+    // allocations (freeing reachable blocks). A torn crash can
+    // persist the 8-byte status word while the intent-count line is
+    // lost, so sharing persistIdle's fence is not enough.
+    pool_.fence();
 }
 
 bool

@@ -44,12 +44,22 @@ ClobberRuntime::store(unsigned tid, void* dst, const void* src, size_t n)
     if (clobbers && clobberLogEnabled_) {
         // clobber_log: undo-log the overwritten input before the store
         // (entry write + flush + fence, via the shared undo machinery).
-        appendLogEntry(tid, pool_.offsetOf(dst), dst,
-                       static_cast<uint32_t>(n), /* fenceAfter */ true);
+        // The entry must cover whole kBlock units, not just the stored
+        // bytes: write-set suppression is block-granular, so a later
+        // store to the *other* bytes of a block logged here is never
+        // logged itself. A block is pristine when it first enters the
+        // log (readSet membership requires a load before any store to
+        // the block), so the widened image is the true pre-state.
+        uint64_t off = pool_.offsetOf(dst);
+        uint64_t lo = off & ~(kBlock - 1);
+        uint64_t hi = (off + n + kBlock - 1) & ~(kBlock - 1);
+        appendLogEntry(tid, lo, pool_.at(lo),
+                       static_cast<uint32_t>(hi - lo),
+                       /* fenceAfter */ true);
         stats::bump(stats::Counter::clobberEntries);
-        stats::bump(stats::Counter::clobberBytes, n);
+        stats::bump(stats::Counter::clobberBytes, hi - lo);
         stats::bump(stats::Counter::undoEntries);
-        stats::bump(stats::Counter::undoBytes, n);
+        stats::bump(stats::Counter::undoBytes, hi - lo);
     }
     forEachBlock(dst, n, [&](uint64_t b) { s.writeSet.insert(b); });
     writeDirty(tid, dst, src, n);
@@ -113,7 +123,17 @@ ClobberRuntime::reexecuteSlot(unsigned tid)
 
     txn::Tx tx(*this, tid);
     txn::ArgReader r(argBlob(tid));
-    txn::lookupTxFunc(d.fid)(tx, r);
+    // While the txfunc re-executes, any volatile out-pointers in its
+    // argument blob are dangling (the original caller's stack is
+    // gone); Tx::recovering() lets txfuncs skip writing them.
+    recovering_ = true;
+    try {
+        txn::lookupTxFunc(d.fid)(tx, r);
+    } catch (...) {
+        recovering_ = false;
+        throw;
+    }
+    recovering_ = false;
     txCommit(tid);
     stats::bump(stats::Counter::reexecutions);
 }

@@ -58,6 +58,7 @@ class ClobberRuntime : public RuntimeBase {
     void load(unsigned tid, void* dst, const void* src,
               size_t n) override;
     void recover() override;
+    bool recovering() const override { return recovering_; }
 
     ClobberPolicy policy() const { return policy_; }
 
@@ -78,6 +79,7 @@ class ClobberRuntime : public RuntimeBase {
     ClobberPolicy policy_;
     bool vlogEnabled_ = true;
     bool clobberLogEnabled_ = true;
+    bool recovering_ = false;
 };
 
 }  // namespace cnvm::rt

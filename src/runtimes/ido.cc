@@ -34,7 +34,7 @@ IdoRuntime::load(unsigned tid, void* dst, const void* src, size_t n)
         if (!s.regionWriteSet.contains(b))
             s.regionReadSet.insert(b);
     });
-    std::memcpy(dst, src, n);
+    ClobberRuntime::load(tid, dst, src, n);
 }
 
 void
@@ -62,18 +62,9 @@ IdoRuntime::store(unsigned tid, void* dst, const void* src, size_t n)
     forEachBlock(dst, n, [&](uint64_t b) {
         s.regionWriteSet.insert(b);
     });
-    writeDirty(tid, dst, src, n);
-}
-
-void
-IdoRuntime::recover()
-{
-    for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
-        CNVM_CHECK(!isOngoing(tid),
-                   "the iDO model measures logging volume only; "
-                   "resumption needs real register state");
-    }
-    heap_.rebuild();
+    // The clobber-logging store keeps the model failure-atomic; the
+    // iDO measurement above never reads the clobber counters.
+    ClobberRuntime::store(tid, dst, src, n);
 }
 
 }  // namespace cnvm::rt

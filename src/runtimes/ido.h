@@ -18,10 +18,14 @@
  *  - FASE entry persists the equivalent of iDO's NVM-resident stack
  *    state (here: the argument blob).
  *
- * Recovery-by-resumption needs real register state, which a library
- * cannot reconstruct, so recover() refuses to repair interrupted
- * transactions — exactly like the paper's reimplementation, this
- * runtime exists to measure log volume, not to be crashed.
+ * Real iDO resumes from the last region boundary using the persisted
+ * register snapshot — state a library reimplementation cannot
+ * reconstruct. To keep the model crash-correct anyway (so the torture
+ * harness can sweep it like every other protocol), load/store also run
+ * the inherited clobber-logging paths and recovery is Clobber-NVM's
+ * restore-and-re-execute. The Figure 8 measurement is unaffected: it
+ * reads only the idoEntries/idoBytes counters, which count exactly the
+ * boundary records and NVM-stack bytes of the iDO model.
  */
 #ifndef CNVM_RUNTIMES_IDO_H
 #define CNVM_RUNTIMES_IDO_H
@@ -50,7 +54,6 @@ class IdoRuntime : public ClobberRuntime {
                size_t n) override;
     void load(unsigned tid, void* dst, const void* src,
               size_t n) override;
-    void recover() override;
 
  protected:
     void beganPersistently(unsigned tid) override;

@@ -58,7 +58,15 @@ NoLogRuntime::load(unsigned, void* dst, const void* src, size_t n)
 void
 NoLogRuntime::recover()
 {
-    // Nothing to repair (and no way to); just rebuild volatile state.
+    // Nothing persistent to repair (and no way to), but interrupted
+    // transactions' volatile slot state must still be dropped or the
+    // restarted process cannot begin a new transaction on that slot.
+    // The *data* those transactions tore stays torn — that is the
+    // point of the baseline, and what the torture sweep detects.
+    for (SlotState& s : slots_) {
+        s.inTx = false;
+        s.resetTx();
+    }
     heap_.rebuild();
 }
 

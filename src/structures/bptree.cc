@@ -202,6 +202,8 @@ bpGetFn(txn::Tx& tx, txn::ArgReader& a)
     auto t = nvm::PPtr<PBpTree>(a.get<uint64_t>());
     KeyImage key = keyImage(a.getString());
     auto* out = reinterpret_cast<LookupResult*>(a.get<uint64_t>());
+    if (tx.recovering())
+        return;  // out points into the crashed process's stack
     out->found = false;
 
     NP cur = tx.ld(t->root);
@@ -237,6 +239,8 @@ bpDelFn(txn::Tx& tx, txn::ArgReader& a)
     auto t = nvm::PPtr<PBpTree>(a.get<uint64_t>());
     KeyImage key = keyImage(a.getString());
     auto* out = reinterpret_cast<bool*>(a.get<uint64_t>());
+    if (tx.recovering())
+        out = nullptr;  // dangling: the crashed caller's stack is gone
 
     NP cur = tx.ld(t->root);
     if (cur.isNull()) {

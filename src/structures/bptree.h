@@ -65,6 +65,8 @@ class BpTree : public KvStructure {
      */
     long validate() const;
 
+    bool selfCheck() const override { return validate() >= 0; }
+
  private:
     txn::Engine& eng_;
     nvm::PPtr<PBpTree> root_;

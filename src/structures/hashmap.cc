@@ -91,6 +91,8 @@ hmDelFn(txn::Tx& tx, txn::ArgReader& a)
     auto root = nvm::PPtr<PHashMap>(a.get<uint64_t>());
     auto key = a.getString();
     auto* out = reinterpret_cast<bool*>(a.get<uint64_t>());
+    if (tx.recovering())
+        out = nullptr;  // dangling: the crashed caller's stack is gone
     auto& headSlot = root->buckets()[bucketIndex(root, key, tx)];
     auto prev = nvm::PPtr<HmNode>();
     for (auto n = tx.ld(headSlot); !n.isNull();
@@ -117,6 +119,8 @@ hmGetFn(txn::Tx& tx, txn::ArgReader& a)
     auto root = nvm::PPtr<PHashMap>(a.get<uint64_t>());
     auto key = a.getString();
     auto* out = reinterpret_cast<LookupResult*>(a.get<uint64_t>());
+    if (tx.recovering())
+        return;  // out points into the crashed process's stack
     out->found = false;
     auto& headSlot = root->buckets()[bucketIndex(root, key, tx)];
     for (auto n = tx.ld(headSlot); !n.isNull(); n = tx.ld(n->next)) {

@@ -63,6 +63,13 @@ class KvStructure {
 
     /** @return true if the key was present and is now gone. */
     virtual bool remove(std::string_view key) = 0;
+
+    /**
+     * Structure-specific invariant audit by direct traversal (tree
+     * ordering/balance), used by the crash-torture oracle.
+     * @return false on violation; default: nothing extra to check.
+     */
+    virtual bool selfCheck() const { return true; }
 };
 
 struct KvConfig {

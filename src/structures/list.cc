@@ -96,6 +96,8 @@ listGetFn(txn::Tx& tx, txn::ArgReader& a)
     auto root = nvm::PPtr<PList>(a.get<uint64_t>());
     auto key = a.getString();
     auto* out = reinterpret_cast<LookupResult*>(a.get<uint64_t>());
+    if (tx.recovering())
+        return;  // out points into the crashed process's stack
     out->found = false;
     for (auto n = tx.ld(root->head); !n.isNull(); n = tx.ld(n->next)) {
         if (!keyEquals(tx, n, key))

@@ -273,6 +273,8 @@ rbDelFn(txn::Tx& tx, txn::ArgReader& a)
     auto t = nvm::PPtr<PRbTree>(a.get<uint64_t>());
     auto key = a.get<uint64_t>();
     auto* out = reinterpret_cast<bool*>(a.get<uint64_t>());
+    if (tx.recovering())
+        out = nullptr;  // dangling: the crashed caller's stack is gone
 
     NP z = findNode(tx, t, key);
     if (z.isNull()) {
@@ -333,6 +335,8 @@ rbGetFn(txn::Tx& tx, txn::ArgReader& a)
     auto t = nvm::PPtr<PRbTree>(a.get<uint64_t>());
     auto key = a.get<uint64_t>();
     auto* out = reinterpret_cast<LookupResult*>(a.get<uint64_t>());
+    if (tx.recovering())
+        return;  // out points into the crashed process's stack
     out->found = false;
     NP n = findNode(tx, t, key);
     if (n.isNull())

@@ -55,6 +55,8 @@ class RbTree : public KvStructure {
      */
     int validate() const;
 
+    bool selfCheck() const override { return validate() >= 0; }
+
  private:
     txn::Engine& eng_;
     nvm::PPtr<PRbTree> root_;

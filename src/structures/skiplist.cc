@@ -96,6 +96,8 @@ skDelFn(txn::Tx& tx, txn::ArgReader& a)
     auto root = nvm::PPtr<PSkiplist>(a.get<uint64_t>());
     auto key = a.get<uint64_t>();
     auto* out = reinterpret_cast<bool*>(a.get<uint64_t>());
+    if (tx.recovering())
+        out = nullptr;  // dangling: the crashed caller's stack is gone
 
     nvm::PPtr<SkNode> preds[kSkipMaxLevel];
     auto hit = findPredecessors(tx, root, key, preds);
@@ -121,6 +123,8 @@ skGetFn(txn::Tx& tx, txn::ArgReader& a)
     auto root = nvm::PPtr<PSkiplist>(a.get<uint64_t>());
     auto key = a.get<uint64_t>();
     auto* out = reinterpret_cast<LookupResult*>(a.get<uint64_t>());
+    if (tx.recovering())
+        return;  // out points into the crashed process's stack
     out->found = false;
 
     nvm::PPtr<SkNode> preds[kSkipMaxLevel];

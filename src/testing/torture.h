@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Crash-point torture drivers.
+ *
+ * Two tiers over the same rig (pool + heap + runtime + structure +
+ * CrashScheduler + ShadowOracle):
+ *
+ *  - exhaustiveSweep(): for one (protocol, structure) pair, crash an
+ *    insert / update / remove at event index 1, 2, 3, ... until the
+ *    operation commits without reaching the trap (`quietRuns` times in
+ *    a row — event counts drift as the structure grows, so a single
+ *    quiet attempt is not proof of quiescence). After every crash:
+ *    tear the image, run recovery, resolve the interrupted operation
+ *    (all-or-nothing by probing), audit the full shadow, and finally
+ *    audit the allocator by replaying the committed-operation history
+ *    on a fresh rig — equal freeBytes() means crashes leaked nothing.
+ *
+ *  - fuzz(): randomized YCSB-like histories on N logical threads
+ *    (sim::Executor round-robin, so each case is a deterministic
+ *    function of its seed). Each case first runs crash-free to count
+ *    its events, then re-runs armed at a random index with randomized
+ *    torn-write CrashParams. A failing case is shrunk greedily to the
+ *    smallest (seed, nOps, event-index) triple that still fails, and
+ *    the report carries the exact cnvm_torture --replay invocation.
+ */
+#ifndef CNVM_TESTING_TORTURE_H
+#define CNVM_TESTING_TORTURE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/pm_allocator.h"
+#include "nvm/pool.h"
+#include "runtimes/factory.h"
+#include "structures/kv.h"
+#include "testing/crash_scheduler.h"
+#include "testing/oracle.h"
+#include "txn/engine.h"
+
+namespace cnvm::torture {
+
+/** How the image tears once a trap fires. */
+enum class Tear {
+    allLost,     ///< every volatile word reverts (deterministic)
+    randomTear,  ///< per-word survival, seeded (torn-write variation)
+};
+
+const char* tearName(Tear t);
+
+/**
+ * One self-contained torture target: an anonymous pool with its heap,
+ * runtime, engine, structure, scheduler and oracle. Everything the
+ * drivers need to crash, recover and audit.
+ */
+class TortureRig {
+ public:
+    TortureRig(txn::RuntimeKind kind, const std::string& structure,
+               size_t poolBytes = 32ULL << 20);
+    ~TortureRig();
+
+    txn::RuntimeKind kind() const { return kind_; }
+    const std::string& structureName() const { return structName_; }
+
+    /** Tear the torn image and run recovery (throws on re-crash). */
+    void crashAndRecover(Tear tear, uint64_t seed,
+                         const nvm::CrashParams& params);
+
+    nvm::Pool& pool() { return *pool_; }
+    alloc::PmAllocator& heap() { return *heap_; }
+    txn::Runtime& runtime() { return *runtime_; }
+    txn::Engine& engine() { return *engine_; }
+    ds::KvStructure& kv() { return *kv_; }
+    CrashScheduler& sched() { return *sched_; }
+    ShadowOracle& shadow() { return shadow_; }
+
+    /** freeBytes() right after structure creation (leak baseline). */
+    size_t baselineFreeBytes() const { return baselineFree_; }
+
+ private:
+    txn::RuntimeKind kind_;
+    std::string structName_;
+    std::unique_ptr<nvm::Pool> pool_;
+    std::unique_ptr<alloc::PmAllocator> heap_;
+    std::unique_ptr<txn::Runtime> runtime_;
+    std::unique_ptr<txn::Engine> engine_;
+    std::unique_ptr<ds::KvStructure> kv_;
+    std::unique_ptr<CrashScheduler> sched_;
+    ShadowOracle shadow_;
+    size_t baselineFree_ = 0;
+};
+
+struct SweepConfig {
+    Tear tear = Tear::allLost;
+    uint64_t seed = 1;
+    /** Crash-free attempts in a row that end a sweep. */
+    int quietRuns = 2;
+    /** Safety cap on the swept event index. */
+    uint64_t maxIndex = 20000;
+    /** Committed keys present before the sweeps start. */
+    int baselineKeys = 4;
+    bool sweepInsert = true;
+    bool sweepUpdate = true;
+    bool sweepRemove = true;
+    /** Replay committed history on a fresh rig, compare freeBytes. */
+    bool leakAudit = true;
+    /** Optional op budget; 0 = unlimited. The sweep stops early
+     *  (result.truncated) when the budget runs out. */
+    uint64_t budget = 0;
+};
+
+struct SweepResult {
+    bool passed = true;
+    bool truncated = false;
+    uint64_t attempts = 0;   ///< armed operations executed
+    uint64_t crashes = 0;    ///< traps that fired
+    uint64_t commits = 0;    ///< operations that ended committed
+    uint64_t maxEventIndex = 0;
+    std::string failure;     ///< first violation (empty if none)
+    std::string summary(txn::RuntimeKind kind,
+                        const std::string& structure) const;
+};
+
+/** Crash one (protocol, structure) pair at every event index. */
+SweepResult exhaustiveSweep(txn::RuntimeKind kind,
+                            const std::string& structure,
+                            const SweepConfig& cfg = SweepConfig{});
+
+/** A replayable fuzz case: fully determined by these three numbers
+ *  (plus the FuzzConfig shape parameters). crashAt = 0: no crash. */
+struct FuzzCase {
+    uint64_t seed = 1;
+    uint32_t nOps = 64;      ///< operations per logical thread
+    uint64_t crashAt = 0;    ///< armed event index
+};
+
+struct FuzzConfig {
+    unsigned threads = 2;    ///< logical threads (sim::Executor)
+    uint32_t opsPerCase = 48;
+    uint64_t keySpace = 48;  ///< Zipfian key universe
+    Tear tear = Tear::randomTear;
+    uint64_t budget = 4000;  ///< total ops across all cases
+    uint64_t baseSeed = 1;
+    bool shrink = true;
+};
+
+/** Outcome of one fuzz case replay. */
+struct CaseResult {
+    std::string failure;     ///< empty = pass
+    uint64_t events = 0;     ///< events the case generated
+    bool crashed = false;    ///< did the armed trap fire?
+    uint64_t opsExecuted = 0;
+};
+
+/**
+ * Replay one case bit-for-bit (the CLI's --replay path). The case is
+ * deterministic: same seed, nOps, crashAt and config shape reproduce
+ * the same history, crash point and tear.
+ */
+CaseResult runFuzzCase(txn::RuntimeKind kind,
+                       const std::string& structure,
+                       const FuzzCase& c, const FuzzConfig& cfg);
+
+struct FuzzOutcome {
+    bool passed = true;
+    uint64_t casesRun = 0;
+    uint64_t opsRun = 0;
+    uint64_t crashes = 0;
+    FuzzCase failing{};      ///< first failing case (if !passed)
+    FuzzCase shrunk{};       ///< minimized case (if !passed)
+    std::string failure;
+    /** Human-readable report incl. the --replay reproduction line. */
+    std::string report(txn::RuntimeKind kind,
+                       const std::string& structure) const;
+};
+
+/** Run randomized cases until the op budget is exhausted or one
+ *  fails; failing cases are shrunk before returning. */
+FuzzOutcome fuzz(txn::RuntimeKind kind, const std::string& structure,
+                 const FuzzConfig& cfg = FuzzConfig{});
+
+/**
+ * Greedy minimization: repeatedly try smaller nOps, then smaller
+ * crashAt, keeping every candidate that still fails. Bounded by
+ * `maxReplays` case replays.
+ */
+FuzzCase shrinkCase(txn::RuntimeKind kind, const std::string& structure,
+                    const FuzzCase& failing, const FuzzConfig& cfg,
+                    int maxReplays = 40);
+
+}  // namespace cnvm::torture
+
+#endif  // CNVM_TESTING_TORTURE_H

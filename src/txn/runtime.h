@@ -98,6 +98,15 @@ class Runtime {
      * interrupted transaction, then rebuild volatile allocator state.
      */
     virtual void recover() = 0;
+
+    /**
+     * True while recover() is re-executing an interrupted txfunc
+     * (recovery-via-resumption runtimes only). Volatile out-pointer
+     * arguments baked into the v_log point into stack frames of the
+     * crashed process; txfuncs must not dereference them when this is
+     * set (the caller that supplied them no longer exists).
+     */
+    virtual bool recovering() const { return false; }
 };
 
 }  // namespace cnvm::txn

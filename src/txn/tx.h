@@ -95,6 +95,10 @@ class Tx {
     /** Inner-lock notification (Atlas logs these). */
     void lockEvent() { rt_.onLock(tid_); }
 
+    /** True during recovery re-execution: volatile out-pointer args
+     *  are dangling and must not be written (see Runtime::recovering). */
+    bool recovering() const { return rt_.recovering(); }
+
  private:
     Runtime& rt_;
     unsigned tid_;

@@ -4,15 +4,22 @@
  * crash point inside a transaction, the recovered state must satisfy
  * the structure invariants and the protocol's atomicity contract
  * (roll-back for undo/redo/atlas, roll-*forward* for Clobber-NVM).
+ *
+ * Crash points are persistency-event indices counted by the
+ * CrashScheduler (store/clwb/sfence, DESIGN.md §11), not pool-write
+ * ordinals: a protocol change that adds flushes or fences without
+ * adding writes still creates crash windows the sweep can reach.
  */
 #include <gtest/gtest.h>
 
 #include "stats/counters.h"
+#include "testing/crash_scheduler.h"
 #include "testutil.h"
 
 namespace cnvm::test {
 namespace {
 
+using torture::CrashScheduler;
 using txn::RuntimeKind;
 
 /** Crash mode applied once the trap fires. */
@@ -26,15 +33,16 @@ struct CrashCase {
 class CrashSweep : public ::testing::TestWithParam<CrashCase> {};
 
 /**
- * Push nodes, crashing each push at successive write counts. After
- * recovery the list/sum invariants must hold, and the interrupted push
- * must be either fully absent (roll-back) or fully present exactly
- * once (Clobber re-execution).
+ * Push nodes, crashing each push at successive persistency events.
+ * After recovery the list/sum invariants must hold, and the
+ * interrupted push must be either fully absent (roll-back) or fully
+ * present exactly once (Clobber re-execution).
  */
-TEST_P(CrashSweep, PushInterruptedAtEveryWrite)
+TEST_P(CrashSweep, PushInterruptedAtEveryEvent)
 {
     auto [kind, mode] = GetParam();
     Harness h(kind);
+    CrashScheduler sched(*h.pool);
     auto eng = h.engine();
 
     // Committed baseline.
@@ -45,9 +53,9 @@ TEST_P(CrashSweep, PushInterruptedAtEveryWrite)
 
     bool sawCrash = false;
     int quietInARow = 0;
-    for (uint64_t k = 1; quietInARow < 2 && k < 500; k++) {
+    for (uint64_t k = 1; quietInARow < 2 && k < 1500; k++) {
         uint64_t value = 100 + k;
-        h.pool->armWriteTrap(k);
+        sched.arm(k);
         bool crashed = false;
         try {
             txn::run(eng, kPushNode, h.rootPtr().raw(), value);
@@ -55,7 +63,7 @@ TEST_P(CrashSweep, PushInterruptedAtEveryWrite)
             crashed = true;
             sawCrash = true;
         }
-        h.pool->armWriteTrap(0);
+        sched.disarm();
         if (crashed) {
             quietInARow = 0;
             if (mode == CrashMode::allLost)
@@ -70,13 +78,10 @@ TEST_P(CrashSweep, PushInterruptedAtEveryWrite)
                 rec[stats::Counter::reexecutions] > 0) {
                 // Recovery-via-resumption: the push completed.
                 ASSERT_EQ(len, expectedLen + 1) << "crash point " << k;
-            } else if (kind == RuntimeKind::clobber) {
-                // No re-execution: either the crash preceded the
-                // v_log persist (never begun) or followed the commit
-                // point (already durable).
-                ASSERT_TRUE(len == expectedLen || len == expectedLen + 1)
-                    << "crash point " << k;
             } else {
+                // Roll-back protocols, or a clobber crash that either
+                // preceded the v_log persist (never begun) or followed
+                // the commit point (already durable).
                 ASSERT_TRUE(len == expectedLen || len == expectedLen + 1)
                     << "crash point " << k;
             }
@@ -98,10 +103,11 @@ TEST_P(CrashSweep, PushInterruptedAtEveryWrite)
 }
 
 /** Same sweep for pops (exercises the deferred-free protocol). */
-TEST_P(CrashSweep, PopInterruptedAtEveryWrite)
+TEST_P(CrashSweep, PopInterruptedAtEveryEvent)
 {
     auto [kind, mode] = GetParam();
     Harness h(kind);
+    CrashScheduler sched(*h.pool);
     auto eng = h.engine();
 
     for (uint64_t v = 1; v <= 60; v++)
@@ -110,9 +116,9 @@ TEST_P(CrashSweep, PopInterruptedAtEveryWrite)
 
     bool sawCrash = false;
     int quietInARow = 0;
-    for (uint64_t k = 1; quietInARow < 2 && k < 300 && expectedLen > 2;
+    for (uint64_t k = 1; quietInARow < 2 && k < 1000 && expectedLen > 2;
          k++) {
-        h.pool->armWriteTrap(k);
+        sched.arm(k);
         bool crashed = false;
         try {
             txn::run(eng, kPopNode, h.rootPtr().raw());
@@ -120,7 +126,7 @@ TEST_P(CrashSweep, PopInterruptedAtEveryWrite)
             crashed = true;
             sawCrash = true;
         }
-        h.pool->armWriteTrap(0);
+        sched.disarm();
         if (crashed) {
             quietInARow = 0;
             if (mode == CrashMode::allLost)
@@ -134,9 +140,6 @@ TEST_P(CrashSweep, PopInterruptedAtEveryWrite)
             if (kind == RuntimeKind::clobber &&
                 rec[stats::Counter::reexecutions] > 0) {
                 ASSERT_EQ(len, expectedLen - 1) << "crash point " << k;
-            } else if (kind == RuntimeKind::clobber) {
-                ASSERT_TRUE(len == expectedLen || len == expectedLen - 1)
-                    << "crash point " << k;
             } else {
                 ASSERT_TRUE(len == expectedLen || len == expectedLen - 1)
                     << "crash point " << k;
@@ -157,32 +160,41 @@ TEST_P(CrashSweep, CrashDuringRecoveryIsRepairable)
 {
     auto [kind, mode] = GetParam();
     Harness h(kind);
+    CrashScheduler sched(*h.pool);
     auto eng = h.engine();
     for (uint64_t v = 1; v <= 4; v++)
         txn::run(eng, kPushNode, h.rootPtr().raw(), v);
 
-    // Interrupt a push mid-flight.
-    h.pool->armWriteTrap(8);
+    // Interrupt a push mid-flight, past the begin record (a committed
+    // push's event count tells us where the middle is; crashing in the
+    // begin window would leave nothing for clobber to re-execute).
+    uint64_t eventsPerPush;
+    {
+        uint64_t before = sched.eventCount();
+        txn::run(eng, kPushNode, h.rootPtr().raw(), uint64_t(5));
+        eventsPerPush = sched.eventCount() - before;
+    }
+    sched.arm(eventsPerPush / 2);
     bool crashed = false;
     try {
         txn::run(eng, kPushNode, h.rootPtr().raw(), uint64_t(50));
     } catch (const nvm::CrashInjected&) {
         crashed = true;
     }
-    h.pool->armWriteTrap(0);
+    sched.disarm();
     ASSERT_TRUE(crashed);
     h.pool->cache().crashAllLost();
 
     // Now crash the recovery at successive points, then finish it.
-    for (uint64_t k = 1; k < 60; k++) {
-        h.pool->armWriteTrap(k);
+    for (uint64_t k = 1; k < 400; k++) {
+        sched.arm(k);
         bool recCrashed = false;
         try {
             h.runtime->recover();
         } catch (const nvm::CrashInjected&) {
             recCrashed = true;
         }
-        h.pool->armWriteTrap(0);
+        sched.disarm();
         if (!recCrashed)
             break;
         if (mode == CrashMode::allLost)
@@ -193,9 +205,9 @@ TEST_P(CrashSweep, CrashDuringRecoveryIsRepairable)
     h.runtime->recover();
     size_t len = h.listLen();
     if (kind == RuntimeKind::clobber)
-        EXPECT_EQ(len, 5u);
+        EXPECT_EQ(len, 6u);
     else
-        EXPECT_TRUE(len == 4u || len == 5u);
+        EXPECT_TRUE(len == 5u || len == 6u);
     EXPECT_EQ(h.root().sum, h.listSum());
 }
 
@@ -228,6 +240,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ClobberRecovery, ReexecutionSeesRestoredInputs)
 {
     Harness h(RuntimeKind::clobber);
+    CrashScheduler sched(*h.pool);
     auto eng = h.engine();
     for (int i = 0; i < 3; i++)
         txn::run(eng, kIncrCounter, h.rootPtr().raw());
@@ -235,23 +248,23 @@ TEST(ClobberRecovery, ReexecutionSeesRestoredInputs)
 
     // Crash an increment after its clobber log + in-place store: the
     // re-execution must produce 4, not 5.
-    uint64_t writesPerIncr;
+    uint64_t eventsPerIncr;
     {
-        uint64_t before = h.pool->writeCount();
+        uint64_t before = sched.eventCount();
         txn::run(eng, kIncrCounter, h.rootPtr().raw());
-        writesPerIncr = h.pool->writeCount() - before;
+        eventsPerIncr = sched.eventCount() - before;
     }
     ASSERT_EQ(h.root().counter, 4u);
-    for (uint64_t k = 1; k <= writesPerIncr; k++) {
+    for (uint64_t k = 1; k <= eventsPerIncr; k++) {
         uint64_t before = h.root().counter;
-        h.pool->armWriteTrap(k);
+        sched.arm(k);
         bool crashed = false;
         try {
             txn::run(eng, kIncrCounter, h.rootPtr().raw());
-            h.pool->armWriteTrap(0);
+            sched.disarm();
         } catch (const nvm::CrashInjected&) {
             crashed = true;
-            h.pool->armWriteTrap(0);
+            sched.disarm();
             h.pool->cache().crashAllLost();
         }
         if (crashed) {
@@ -290,31 +303,46 @@ TEST(ClobberRecovery, VlogPreservesVolatileArguments)
             tx.st(root->head, node);
         });
 
-    Harness h(RuntimeKind::clobber);
-    auto eng = h.engine();
     std::string payload = "volatile-input-that-must-survive";
 
-    // Find a crash point late in the tx (after several writes).
-    h.pool->armWriteTrap(9);
-    bool crashed = false;
-    try {
-        txn::run(eng, kWriteBlob, h.rootPtr().raw(),
-                 std::string_view(payload));
-    } catch (const nvm::CrashInjected&) {
-        crashed = true;
+    // Sweep crash points on fresh harnesses until one lands after the
+    // v_log persist, so recovery re-executes the txfunc from its
+    // logged argument bytes.
+    bool sawReexecution = false;
+    for (uint64_t k = 1; k < 120 && !sawReexecution; k++) {
+        Harness h(RuntimeKind::clobber);
+        CrashScheduler sched(*h.pool);
+        auto eng = h.engine();
+        sched.arm(k);
+        bool crashed = false;
+        try {
+            txn::run(eng, kWriteBlob, h.rootPtr().raw(),
+                     std::string_view(payload));
+            sched.disarm();
+        } catch (const nvm::CrashInjected&) {
+            crashed = true;
+            sched.disarm();
+        }
+        if (!crashed)
+            break;  // the whole txfunc ran without reaching event k
+        h.pool->cache().crashAllLost();
+        auto preRec = stats::aggregate();
+        h.runtime->recover();
+        auto rec = stats::aggregate() - preRec;
+        if (rec[stats::Counter::reexecutions] == 0)
+            continue;  // crashed before the v_log persist
+        sawReexecution = true;
+        ASSERT_EQ(h.root().counter, 1u) << "crash point " << k;
+        auto node = h.root().head;
+        ASSERT_FALSE(node.isNull()) << "crash point " << k;
+        ASSERT_EQ(node->value, payload.size()) << "crash point " << k;
+        EXPECT_EQ(
+            std::string(reinterpret_cast<const char*>(node.get() + 1),
+                        payload.size()),
+            payload)
+            << "crash point " << k;
     }
-    h.pool->armWriteTrap(0);
-    ASSERT_TRUE(crashed);
-    h.pool->cache().crashAllLost();
-    h.runtime->recover();
-
-    ASSERT_EQ(h.root().counter, 1u);
-    auto node = h.root().head;
-    ASSERT_FALSE(node.isNull());
-    ASSERT_EQ(node->value, payload.size());
-    EXPECT_EQ(std::string(reinterpret_cast<const char*>(node.get() + 1),
-                          payload.size()),
-              payload);
+    EXPECT_TRUE(sawReexecution);
 }
 
 }  // namespace
