@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Rebuild and run the transaction hot-path microbenchmark, merging the
+# result into BENCH_txpath.json at the repo root under a label.
+#
+# usage: scripts/bench_txpath.sh [label]
+#
+# The default label is "current". The committed "baseline" series was
+# captured at the pre-overhaul commit with the same bench definition,
+# so the two are directly comparable.
+#
+# Knobs (env): CNVM_OPS (txfunc calls/thread, default 800000),
+# CNVM_MAXTHREADS, CNVM_POOL_MB, BUILD_DIR (default build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+LABEL="${1:-current}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target micro_txpath -j "$(nproc)"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+"$BUILD_DIR/bench/micro_txpath" "$TMP"
+
+python3 - "$TMP" "$LABEL" <<'EOF'
+import json, os, sys
+
+run_path, label = sys.argv[1], sys.argv[2]
+out = "BENCH_txpath.json"
+doc = {}
+if os.path.exists(out):
+    with open(out) as f:
+        doc = json.load(f)
+with open(run_path) as f:
+    doc[label] = json.load(f)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+EOF
+echo "updated $(pwd)/BENCH_txpath.json (label: $LABEL)"

@@ -68,6 +68,22 @@ class EpochSet {
 
     size_t size() const { return count_; }
 
+    /**
+     * Test-only: jump the epoch counter to its maximum (re-tagging the
+     * live keys so contents are preserved) so the next clear()
+     * exercises the wrap hard-reset branch, otherwise reached once per
+     * 2^32 clears.
+     */
+    void
+    forceWrap()
+    {
+        for (auto& b : buckets_) {
+            if (b.epoch == epoch_)
+                b.epoch = ~0u;
+        }
+        epoch_ = ~0u;
+    }
+
     /** Visit every key currently in the set. */
     template <typename Fn>
     void

@@ -23,8 +23,14 @@ AtlasRuntime::AtlasRuntime(nvm::Pool& pool, alloc::PmAllocator& heap)
 void
 AtlasRuntime::appendLockRecord(unsigned tid, uint64_t code)
 {
+    // Markers are bookkeeping, not memory images: recovery only needs
+    // one durably *before* any later undo image is acted on, and every
+    // undo entry's own required fence drains this flush first. A torn
+    // marker with a durable successor entry is impossible for the same
+    // reason — the successor's fence would have retired this line (see
+    // DESIGN.md §12).
     appendLogEntry(tid, kMarkerOff, &code, sizeof(code),
-                   /* fenceAfter */ true);
+                   LogFence::deferred);
     stats::bump(stats::Counter::lockLogEntries);
 }
 
@@ -44,7 +50,10 @@ AtlasRuntime::appendDepRecord(unsigned tid)
         (depIndex_++ % (kDepRingBytes / kDepRecordBytes)) *
             kDepRecordBytes;
     pool_.writeAt(off, record, sizeof(record));
-    pool_.persist(pool_.at(off), sizeof(record));
+    // Flush without fence: the ring feeds the (offline) pruner's
+    // consistent-cut scan, not single-failure recovery, so the commit
+    // path's own fences are early enough to retire this line.
+    pool_.flush(pool_.at(off), sizeof(record));
     stats::bump(stats::Counter::depRecords);
 }
 
@@ -86,9 +95,11 @@ AtlasRuntime::store(unsigned tid, void* dst, const void* src, size_t n)
     // Atlas instruments *every* store with an undo log entry — it has
     // no TX_ADD-style per-location dedup (a large part of why the
     // paper measures it ~4x behind Clobber-NVM).
+    if (n == 0)
+        return;
     ensureBegun(tid);
     appendLogEntry(tid, pool_.offsetOf(dst), dst,
-                   static_cast<uint32_t>(n), /* fenceAfter */ true);
+                   static_cast<uint32_t>(n), LogFence::required);
     stats::bump(stats::Counter::undoEntries);
     stats::bump(stats::Counter::undoBytes, n);
     writeDirty(tid, dst, src, n);

@@ -90,18 +90,28 @@ RuntimeBase::writeDirty(unsigned tid, void* dst, const void* src,
                         size_t n)
 {
     pool_.write(dst, src, n);
+    if (n == 0)
+        return;
     SlotState& s = slot(tid);
     uint64_t off = pool_.offsetOf(dst);
     uint64_t first = off / nvm::kCacheLine;
-    uint64_t last = (off + (n == 0 ? 0 : n - 1)) / nvm::kCacheLine;
+    uint64_t last = (off + n - 1) / nvm::kCacheLine;
+    // Same-line memo: repeated stores to the current cache line (field
+    // updates, sequential small writes) skip the hash insert.
+    if (first == s.lastDirtyLine && last == s.lastDirtyLine)
+        return;
     for (uint64_t ln = first; ln <= last; ln++)
         s.dirtyLines.insert(ln + 1);  // +1: EpochSet forbids key 0
+    s.lastDirtyLine = last;
 }
 
 void
 RuntimeBase::flushDirty(unsigned tid)
 {
     SlotState& s = slot(tid);
+    s.lastDirtyLine = ~0ULL;
+    if (s.dirtyLines.size() == 0)
+        return;  // read-only / already-flushed: skip the copy-out
     s.flushScratch.clear();
     s.dirtyLines.forEach([&](uint64_t lnPlus1) {
         s.flushScratch.push_back(lnPlus1 - 1);
@@ -113,7 +123,7 @@ RuntimeBase::flushDirty(unsigned tid)
 void
 RuntimeBase::appendLogEntry(unsigned tid, uint64_t targetOff,
                             const void* payload, uint32_t len,
-                            bool fenceAfter)
+                            LogFence fence)
 {
     CNVM_CHECK(len > 0, "empty log entry");
     SlotState& s = slot(tid);
@@ -130,15 +140,16 @@ RuntimeBase::appendLogEntry(unsigned tid, uint64_t targetOff,
     pool_.write(dst, &h, sizeof(h));
     pool_.write(dst + sizeof(h), payload, len);
     pool_.flush(dst, need);
-    if (fenceAfter)
+    if (fence == LogFence::required)
         pool_.fence();
     s.logTail += need;
 }
 
-std::vector<RuntimeBase::ScannedEntry>
+const std::vector<RuntimeBase::ScannedEntry>&
 RuntimeBase::scanLog(unsigned tid)
 {
-    std::vector<ScannedEntry> out;
+    std::vector<ScannedEntry>& out = slot(tid).scanScratch;
+    out.clear();
     const uint8_t* area = logArea(tid);
     size_t cap = logCapacity();
     size_t pos = 0;
@@ -405,11 +416,11 @@ RuntimeBase::alloc(unsigned tid, size_t n)
     uint64_t first = off / kBlock;
     uint64_t last = (off + payload - 1) / kBlock;
     for (uint64_t b = first; b <= last; b++) {
-        s.writeSet.insert(b);
-        s.regionWriteSet.insert(b);
+        s.blocks.ref(b) |=
+            BlockMap::kWritten | BlockMap::kRegionWritten;
     }
-    // Note: fresh blocks are deliberately NOT added to loggedBlocks.
-    // The paper's PMDK baseline (Figure 2b) TX_ADDs freshly allocated
+    // Note: fresh blocks deliberately do NOT get the kLogged bit. The
+    // paper's PMDK baseline (Figure 2b) TX_ADDs freshly allocated
     // fields before writing them, so the undo model logs them too —
     // that asymmetry is a real part of clobber logging's advantage.
     return off;

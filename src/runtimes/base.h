@@ -13,12 +13,29 @@
 #include <vector>
 
 #include "alloc/pm_allocator.h"
+#include "common/block_map.h"
 #include "common/epoch_set.h"
 #include "nvm/pool.h"
 #include "runtimes/descriptor.h"
 #include "txn/runtime.h"
 
 namespace cnvm::rt {
+
+/**
+ * Durability-ordering requirement of a log entry append.
+ *
+ * `required` flushes and fences: the entry is durable before the caller
+ * executes anything that could tear independently of it (an undo image
+ * must beat its in-place write to the media). `deferred` only flushes;
+ * the flush is retired by the *next* fence the slot issues — sound for
+ * entries whose loss is harmless until a later durable point (redo
+ * entries before the commit record, Atlas marker records: see
+ * DESIGN.md §12 for the torn-line argument).
+ */
+enum class LogFence {
+    required,
+    deferred,
+};
 
 class RuntimeBase : public txn::Runtime {
  public:
@@ -41,6 +58,13 @@ class RuntimeBase : public txn::Runtime {
     void dealloc(unsigned tid, uint64_t payloadOff) override;
 
  protected:
+    /** A validated log entry surfaced during recovery. */
+    struct ScannedEntry {
+        uint64_t targetOff;
+        uint32_t len;
+        const uint8_t* data;
+    };
+
     /** Volatile per-slot transaction state. */
     struct SlotState {
         bool inTx = false;
@@ -51,21 +75,79 @@ class RuntimeBase : public txn::Runtime {
         std::vector<uint8_t> volatileArgs;
         /** dirty cache lines to write back at commit */
         EpochSet dirtyLines{4096};
-        /** 8-byte blocks read before written (clobber inputs) */
-        EpochSet readSet{4096};
-        /** 8-byte blocks already written (incl. fresh allocations) */
-        EpochSet writeSet{4096};
-        /** 8-byte blocks already undo-logged (PMDK range dedup) */
-        EpochSet loggedBlocks{4096};
-        /** iDO per-idempotent-region sets */
-        EpochSet regionReadSet{4096};
-        EpochSet regionWriteSet{4096};
+        /**
+         * Unified per-block transaction state (READ / WRITTEN / LOGGED
+         * / REGION_READ / REGION_WRITTEN), one probe per block where
+         * the old readSet/writeSet/loggedBlocks/region sets cost up to
+         * four. Bits are only ever set during a transaction (clear()
+         * at reset, clearBits() at iDO region boundaries), which is
+         * what makes the access-run cache below sound.
+         */
+        BlockMap blocks{4096};
+        /**
+         * Access-run memoization: inclusive block ranges known to be
+         * fully processed by the owning runtime's load (loadRun) or
+         * store (storeRun) bookkeeping, so sequential memcpy-style
+         * access skips the hash probes entirely. The exact invariant
+         * is protocol-specific (clobber: storeRun blocks are WRITTEN;
+         * undo: LOGGED; iDO adds the region bits) but always monotone
+         * under bit-setting, so runs stay valid until resetTx() or a
+         * region boundary resets them. Empty when lo > hi.
+         */
+        uint64_t loadRunLo = 1, loadRunHi = 0;
+        uint64_t storeRunLo = 1, storeRunHi = 0;
+        /** last cache line inserted into dirtyLines (same-line memo) */
+        uint64_t lastDirtyLine = ~0ULL;
         /** allocation actions (payloadOff, isFree) */
         std::vector<std::pair<uint64_t, bool>> actions;
         /** reusable buffer for batched commit-time write-back */
         std::vector<uint64_t> flushScratch;
+        /** reusable buffer for scanLog (recovery passes) */
+        std::vector<ScannedEntry> scanScratch;
         /** bytes used in the slot's log area */
         size_t logTail = 0;
+
+        bool
+        inLoadRun(uint64_t lo, uint64_t hi) const
+        {
+            return loadRunLo <= lo && hi <= loadRunHi;
+        }
+        bool
+        inStoreRun(uint64_t lo, uint64_t hi) const
+        {
+            return storeRunLo <= lo && hi <= storeRunHi;
+        }
+
+        /** Extend a run if [lo,hi] overlaps/adjoins it, else replace. */
+        static void
+        noteRun(uint64_t& runLo, uint64_t& runHi, uint64_t lo,
+                uint64_t hi)
+        {
+            if (runLo <= runHi && lo <= runHi + 1 && runLo <= hi + 1) {
+                runLo = runLo < lo ? runLo : lo;
+                runHi = runHi > hi ? runHi : hi;
+            } else {
+                runLo = lo;
+                runHi = hi;
+            }
+        }
+        void
+        noteLoadRun(uint64_t lo, uint64_t hi)
+        {
+            noteRun(loadRunLo, loadRunHi, lo, hi);
+        }
+        void
+        noteStoreRun(uint64_t lo, uint64_t hi)
+        {
+            noteRun(storeRunLo, storeRunHi, lo, hi);
+        }
+
+        void
+        resetRuns()
+        {
+            loadRunLo = storeRunLo = 1;
+            loadRunHi = storeRunHi = 0;
+        }
 
         void
         resetTx()
@@ -74,11 +156,9 @@ class RuntimeBase : public txn::Runtime {
             pendingFid = 0;
             wantArgsPersist = false;
             dirtyLines.clear();
-            readSet.clear();
-            writeSet.clear();
-            loggedBlocks.clear();
-            regionReadSet.clear();
-            regionWriteSet.clear();
+            blocks.clear();
+            resetRuns();
+            lastDirtyLine = ~0ULL;
             actions.clear();
             logTail = 0;
         }
@@ -101,21 +181,18 @@ class RuntimeBase : public txn::Runtime {
     /**
      * Append a self-validating log entry carrying `len` bytes of
      * `payload` attributed to `targetOff`. Flushes the entry; fences
-     * iff `fenceAfter`.
+     * iff `fence == LogFence::required`.
      */
     void appendLogEntry(unsigned tid, uint64_t targetOff,
                         const void* payload, uint32_t len,
-                        bool fenceAfter);
+                        LogFence fence);
 
-    /** A validated log entry surfaced during recovery. */
-    struct ScannedEntry {
-        uint64_t targetOff;
-        uint32_t len;
-        const uint8_t* data;
-    };
-
-    /** All valid entries of the slot's current transaction, in order. */
-    std::vector<ScannedEntry> scanLog(unsigned tid);
+    /**
+     * All valid entries of the slot's current transaction, in order.
+     * The returned vector is the slot's scratch buffer: valid until
+     * the next scanLog() call on the same slot.
+     */
+    const std::vector<ScannedEntry>& scanLog(unsigned tid);
 
     /**
      * Persist the begin record. Writes status/txSeq (+fid/args when
@@ -196,13 +273,26 @@ class RuntimeBase : public txn::Runtime {
         return pool_.offsetOf(p) / kBlock;
     }
 
+    /** Inclusive block range covering [p, p+n). @pre n > 0. */
+    struct BlockRange {
+        uint64_t first, last;
+    };
+    BlockRange
+    blockRangeOf(const void* p, size_t n) const
+    {
+        uint64_t off = pool_.offsetOf(p);
+        return {off / kBlock, (off + n - 1) / kBlock};
+    }
+
     template <typename Fn>
     void
     forEachBlock(const void* p, size_t n, Fn&& fn) const
     {
+        if (n == 0)
+            return;  // an empty access touches no block
         uint64_t off = pool_.offsetOf(p);
         uint64_t first = off / kBlock;
-        uint64_t last = (off + (n == 0 ? 0 : n - 1)) / kBlock;
+        uint64_t last = (off + n - 1) / kBlock;
         for (uint64_t b = first; b <= last; b++)
             fn(b);
     }

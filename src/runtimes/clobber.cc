@@ -19,49 +19,83 @@ ClobberRuntime::txBegin(unsigned tid, txn::FuncId fid,
 void
 ClobberRuntime::load(unsigned tid, void* dst, const void* src, size_t n)
 {
+    if (n == 0)
+        return;
     SlotState& s = slot(tid);
-    forEachBlock(src, n, [&](uint64_t b) {
-        // Reading your own write is not an input read.
-        if (!s.writeSet.contains(b))
-            s.readSet.insert(b);
-    });
+    auto [first, last] = blockRangeOf(src, n);
+    if (!s.inLoadRun(first, last)) {
+        for (uint64_t b = first; b <= last; b++) {
+            uint8_t& st = s.blocks.ref(b);
+            // Reading your own write is not an input read.
+            if (!(st & (BlockMap::kRead | BlockMap::kWritten)))
+                st |= BlockMap::kRead;
+        }
+        // loadRun invariant (clobber): READ or WRITTEN already set, so
+        // a repeat load of these blocks has nothing to record.
+        s.noteLoadRun(first, last);
+    }
     std::memcpy(dst, src, n);
+}
+
+void
+ClobberRuntime::appendClobberEntry(unsigned tid, void* dst, size_t n)
+{
+    if (!clobberLogEnabled_)
+        return;
+    // clobber_log: undo-log the overwritten input before the store
+    // (entry write + flush + fence, via the shared undo machinery).
+    // The entry must cover whole kBlock units, not just the stored
+    // bytes: write-set suppression is block-granular, so a later
+    // store to the *other* bytes of a block logged here is never
+    // logged itself. A block is pristine when it first enters the
+    // log (the READ bit requires a load before any store to the
+    // block), so the widened image is the true pre-state. The fence
+    // is non-negotiable: the clobbered line can tear independently of
+    // the log line, so the entry must be durable before the in-place
+    // write executes.
+    uint64_t off = pool_.offsetOf(dst);
+    uint64_t lo = off & ~(kBlock - 1);
+    uint64_t hi = (off + n + kBlock - 1) & ~(kBlock - 1);
+    appendLogEntry(tid, lo, pool_.at(lo), static_cast<uint32_t>(hi - lo),
+                   LogFence::required);
+    stats::bump(stats::Counter::clobberEntries);
+    stats::bump(stats::Counter::clobberBytes, hi - lo);
+    stats::bump(stats::Counter::undoEntries);
+    stats::bump(stats::Counter::undoBytes, hi - lo);
 }
 
 void
 ClobberRuntime::store(unsigned tid, void* dst, const void* src, size_t n)
 {
+    if (n == 0)
+        return;
     ensureBegun(tid);
     SlotState& s = slot(tid);
-    bool clobbers = false;
-    forEachBlock(dst, n, [&](uint64_t b) {
-        if (!s.readSet.contains(b))
-            return;
-        if (policy_ == ClobberPolicy::refined && s.writeSet.contains(b))
-            return;  // already clobbered and logged earlier
-        clobbers = true;
-    });
-    if (clobbers && clobberLogEnabled_) {
-        // clobber_log: undo-log the overwritten input before the store
-        // (entry write + flush + fence, via the shared undo machinery).
-        // The entry must cover whole kBlock units, not just the stored
-        // bytes: write-set suppression is block-granular, so a later
-        // store to the *other* bytes of a block logged here is never
-        // logged itself. A block is pristine when it first enters the
-        // log (readSet membership requires a load before any store to
-        // the block), so the widened image is the true pre-state.
-        uint64_t off = pool_.offsetOf(dst);
-        uint64_t lo = off & ~(kBlock - 1);
-        uint64_t hi = (off + n + kBlock - 1) & ~(kBlock - 1);
-        appendLogEntry(tid, lo, pool_.at(lo),
-                       static_cast<uint32_t>(hi - lo),
-                       /* fenceAfter */ true);
-        stats::bump(stats::Counter::clobberEntries);
-        stats::bump(stats::Counter::clobberBytes, hi - lo);
-        stats::bump(stats::Counter::undoEntries);
-        stats::bump(stats::Counter::undoBytes, hi - lo);
+    auto [first, last] = blockRangeOf(dst, n);
+    // storeRun invariant (refined clobber): every block in the run is
+    // WRITTEN, so nothing can clobber and the bits are already set —
+    // sequential overwrites skip the hash entirely. The conservative
+    // policy re-logs every store to a read block, so it must always
+    // take the probing path.
+    if (policy_ == ClobberPolicy::refined &&
+        s.inStoreRun(first, last)) {
+        writeDirty(tid, dst, src, n);
+        return;
     }
-    forEachBlock(dst, n, [&](uint64_t b) { s.writeSet.insert(b); });
+    bool clobbers = false;
+    for (uint64_t b = first; b <= last; b++) {
+        uint8_t& st = s.blocks.ref(b);
+        if ((st & BlockMap::kRead) &&
+            (policy_ == ClobberPolicy::conservative ||
+             !(st & BlockMap::kWritten))) {
+            clobbers = true;
+        }
+        st |= BlockMap::kWritten;
+    }
+    if (clobbers)
+        appendClobberEntry(tid, dst, n);
+    if (policy_ == ClobberPolicy::refined)
+        s.noteStoreRun(first, last);
     writeDirty(tid, dst, src, n);
 }
 
@@ -87,7 +121,7 @@ ClobberRuntime::txCommit(unsigned tid)
 void
 ClobberRuntime::restoreSlot(unsigned tid)
 {
-    auto entries = scanLog(tid);
+    const auto& entries = scanLog(tid);
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
         if (it->targetOff == kMarkerOff)
             continue;  // bookkeeping record, not a memory image

@@ -70,15 +70,25 @@ class ClobberRuntime : public RuntimeBase {
     void setVlogEnabled(bool on) { vlogEnabled_ = on; }
     void setClobberLogEnabled(bool on) { clobberLogEnabled_ = on; }
 
+ protected:
+    /**
+     * Append the widened block-aligned clobber entry for a store to
+     * [dst, dst+n) and bump the logging counters (no-op when the
+     * clobber_log is disabled). Shared with the iDO runtime's store
+     * path.
+     */
+    void appendClobberEntry(unsigned tid, void* dst, size_t n);
+
+    ClobberPolicy policy_;
+    bool clobberLogEnabled_ = true;
+
  private:
     /** Restore clobbered inputs, revert intents (phase 1 of recovery). */
     void restoreSlot(unsigned tid);
     /** Re-execute the interrupted txfunc (phase 2 of recovery). */
     void reexecuteSlot(unsigned tid);
 
-    ClobberPolicy policy_;
     bool vlogEnabled_ = true;
-    bool clobberLogEnabled_ = true;
     bool recovering_ = false;
 };
 

@@ -55,9 +55,11 @@ RedoRuntime::store(unsigned tid, void* dst, const void* src, size_t n)
 {
     if (n == 0)
         return;
-    // Append the redo entry (flushed, not fenced).
+    // Append the redo entry (flushed, not fenced): nothing acts on it
+    // until the commit record, and the commit path's drain fence
+    // retires every pending entry at once.
     appendLogEntry(tid, pool_.offsetOf(dst), src,
-                   static_cast<uint32_t>(n), /* fenceAfter */ false);
+                   static_cast<uint32_t>(n), LogFence::deferred);
     stats::bump(stats::Counter::redoEntries);
     stats::bump(stats::Counter::redoBytes, n);
 
@@ -167,7 +169,7 @@ RedoRuntime::recover()
         TxDescriptor& d = desc(tid);
         if (d.status == static_cast<uint64_t>(TxStatus::committing)) {
             // Roll forward: replay the log in order, finish intents.
-            auto entries = scanLog(tid);
+            const auto& entries = scanLog(tid);
             for (const auto& e : entries) {
                 pool_.writeAt(e.targetOff, e.data, e.len);
                 pool_.flush(pool_.at(e.targetOff), e.len);

@@ -18,23 +18,34 @@ void
 UndoRuntime::maybeUndoLog(unsigned tid, void* dst, size_t n)
 {
     SlotState& s = slot(tid);
-    bool needLog = false;
-    forEachBlock(dst, n, [&](uint64_t b) {
-        if (!s.loggedBlocks.contains(b))
-            needLog = true;
-    });
-    if (!needLog)
+    auto [first, last] = blockRangeOf(dst, n);
+    // storeRun invariant (undo): every block in the run is LOGGED, so
+    // sequential overwrites of an already-logged range skip the probes.
+    if (s.inStoreRun(first, last))
         return;
-    appendLogEntry(tid, pool_.offsetOf(dst), dst,
-                   static_cast<uint32_t>(n), /* fenceAfter */ true);
-    forEachBlock(dst, n, [&](uint64_t b) { s.loggedBlocks.insert(b); });
-    stats::bump(stats::Counter::undoEntries);
-    stats::bump(stats::Counter::undoBytes, n);
+    bool needLog = false;
+    for (uint64_t b = first; b <= last; b++) {
+        uint8_t& st = s.blocks.ref(b);
+        if (!(st & BlockMap::kLogged))
+            needLog = true;
+        st |= BlockMap::kLogged;
+    }
+    if (needLog) {
+        // The undo image must be durable before the in-place write can
+        // tear: per-entry fence required.
+        appendLogEntry(tid, pool_.offsetOf(dst), dst,
+                       static_cast<uint32_t>(n), LogFence::required);
+        stats::bump(stats::Counter::undoEntries);
+        stats::bump(stats::Counter::undoBytes, n);
+    }
+    s.noteStoreRun(first, last);
 }
 
 void
 UndoRuntime::store(unsigned tid, void* dst, const void* src, size_t n)
 {
+    if (n == 0)
+        return;
     ensureBegun(tid);
     maybeUndoLog(tid, dst, n);
     writeDirty(tid, dst, src, n);
@@ -68,7 +79,7 @@ UndoRuntime::txCommit(unsigned tid)
 void
 UndoRuntime::rollbackSlot(unsigned tid)
 {
-    auto entries = scanLog(tid);
+    const auto& entries = scanLog(tid);
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
         if (it->targetOff == kMarkerOff)
             continue;  // bookkeeping record, not a memory image

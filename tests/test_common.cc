@@ -1,9 +1,11 @@
-/** @file Unit tests for common utilities (RNG, zipfian, EpochSet). */
+/** @file Unit tests for common utilities (RNG, zipfian, EpochSet, BlockMap). */
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <unordered_map>
 
+#include "common/block_map.h"
 #include "common/epoch_set.h"
 #include "common/error.h"
 #include "common/rand.h"
@@ -120,6 +122,132 @@ TEST(EpochSet, RejectsZeroKey)
 {
     EpochSet s(16);
     EXPECT_THROW(s.insert(0), PanicError);
+}
+
+TEST(EpochSet, EpochWrapHardResets)
+{
+    EpochSet s(16);
+    s.insert(7);
+    s.insert(8);
+    // forceWrap preserves contents while priming the next clear() to
+    // take the epoch_ == 0 hard-reset branch.
+    s.forceWrap();
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_TRUE(s.contains(8));
+    EXPECT_EQ(s.size(), 2u);
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_FALSE(s.contains(7));
+    EXPECT_FALSE(s.contains(8));
+    // The set must be fully usable after the wrap: stale buckets from
+    // before the reset must not alias new epochs.
+    EXPECT_TRUE(s.insert(7));
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_FALSE(s.contains(8));
+    s.clear();
+    EXPECT_FALSE(s.contains(7));
+}
+
+TEST(BlockMap, RefInsertsAndAccumulatesBits)
+{
+    BlockMap m(16);
+    EXPECT_EQ(m.get(5), 0);
+    m.ref(5) |= BlockMap::kRead;
+    m.ref(5) |= BlockMap::kWritten;
+    EXPECT_EQ(m.get(5), BlockMap::kRead | BlockMap::kWritten);
+    EXPECT_EQ(m.size(), 1u);
+    // Key 0 is a valid block number (unlike EpochSet).
+    m.ref(0) |= BlockMap::kLogged;
+    EXPECT_EQ(m.get(0), BlockMap::kLogged);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(BlockMap, ClearIsCheapAndComplete)
+{
+    BlockMap m(16);
+    for (uint64_t b = 0; b < 100; b++)
+        m.ref(b) |= BlockMap::kWritten;
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    for (uint64_t b = 0; b < 100; b++)
+        EXPECT_EQ(m.get(b), 0);
+    m.ref(3) |= BlockMap::kRead;
+    EXPECT_EQ(m.get(3), BlockMap::kRead);
+}
+
+TEST(BlockMap, GrowthPreservesStateBits)
+{
+    BlockMap m(16);
+    // Assign a distinct bit pattern per key, forcing several growths
+    // mid-"transaction", and check no state byte is lost or mixed up.
+    std::map<uint64_t, uint8_t> expect;
+    for (uint64_t i = 0; i < 5000; i++) {
+        uint64_t key = i * 977;
+        uint8_t bits = static_cast<uint8_t>(1u << (i % 5));
+        m.ref(key) |= bits;
+        expect[key] |= bits;
+    }
+    EXPECT_GT(m.capacity(), 16u);
+    EXPECT_EQ(m.size(), expect.size());
+    for (const auto& [key, bits] : expect)
+        EXPECT_EQ(m.get(key), bits) << "key " << key;
+    std::map<uint64_t, uint8_t> seen;
+    m.forEach([&](uint64_t k, uint8_t st) { seen[k] = st; });
+    EXPECT_EQ(seen, expect);
+}
+
+TEST(BlockMap, EpochWrapHardResets)
+{
+    BlockMap m(16);
+    m.ref(1) |= BlockMap::kRead;
+    m.ref(2) |= BlockMap::kWritten;
+    m.forceWrap();
+    EXPECT_EQ(m.get(1), BlockMap::kRead);
+    EXPECT_EQ(m.get(2), BlockMap::kWritten);
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.get(1), 0);
+    EXPECT_EQ(m.get(2), 0);
+    m.ref(1) |= BlockMap::kLogged;
+    EXPECT_EQ(m.get(1), BlockMap::kLogged);
+    EXPECT_EQ(m.get(2), 0);
+    m.clear();
+    EXPECT_EQ(m.get(1), 0);
+}
+
+TEST(BlockMap, ClearRegionBitsIsScopedAndCheap)
+{
+    BlockMap m(16);
+    m.ref(1) |= BlockMap::kRead | BlockMap::kRegionRead;
+    m.ref(2) |= BlockMap::kWritten | BlockMap::kRegionWritten;
+    m.clearRegionBits();
+    // Region bits vanish; transaction-scoped bits survive.
+    EXPECT_EQ(m.get(1), BlockMap::kRead);
+    EXPECT_EQ(m.get(2), BlockMap::kWritten);
+    // Both through the mutating and non-mutating paths.
+    EXPECT_EQ(m.ref(1), BlockMap::kRead);
+    m.ref(1) |= BlockMap::kRegionRead;
+    EXPECT_EQ(m.get(1), BlockMap::kRead | BlockMap::kRegionRead);
+    uint8_t seen1 = 0;
+    m.forEach([&](uint64_t k, uint8_t st) {
+        if (k == 1)
+            seen1 = st;
+    });
+    EXPECT_EQ(seen1, BlockMap::kRead | BlockMap::kRegionRead);
+}
+
+TEST(BlockMap, RegionEpochSurvivesGrowth)
+{
+    BlockMap m(16);
+    for (uint64_t b = 0; b < 50; b++)
+        m.ref(b) |= BlockMap::kWritten | BlockMap::kRegionWritten;
+    m.clearRegionBits();
+    // Growth re-inserts entries whose region bits are stale; the new
+    // table must still treat them as cleared.
+    for (uint64_t b = 50; b < 5000; b++)
+        m.ref(b) |= BlockMap::kRead;
+    for (uint64_t b = 0; b < 50; b++)
+        EXPECT_EQ(m.get(b), BlockMap::kWritten) << "block " << b;
 }
 
 TEST(Error, FatalAndPanicThrow)
