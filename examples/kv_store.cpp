@@ -90,7 +90,19 @@ main(int argc, char** argv)
     }
 
     std::printf("[second run] reopening pool %s\n", path.c_str());
-    auto pool = nvm::Pool::open(path);
+    std::unique_ptr<nvm::Pool> pool;
+    try {
+        pool = nvm::Pool::open(path);
+    } catch (const nvm::PoolOpenError& e) {
+        // A stale or damaged pool (old layout version, truncation,
+        // corrupt header) is operator-recoverable: discard it and
+        // start over instead of dying on the exception.
+        std::printf("[second run] cannot reuse pool: %s\n", e.what());
+        ::unlink(path.c_str());
+        std::printf("[second run] stale pool removed; run again for a "
+                    "fresh demo\n");
+        return 0;
+    }
     alloc::PmAllocator heap(*pool);
     rt::ClobberRuntime runtime(*pool, heap);
     runtime.recover();  // re-executes the interrupted insert

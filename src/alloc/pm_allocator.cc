@@ -1,9 +1,11 @@
 #include "alloc/pm_allocator.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "common/error.h"
+#include "common/rand.h"
 #include "stats/counters.h"
 
 namespace cnvm::alloc {
@@ -18,46 +20,78 @@ alignUp(uint64_t v, uint64_t a)
 
 }  // namespace
 
+uint64_t
+quarantineChecksum(uint32_t count, const QuarantineEntry* entries)
+{
+    uint64_t sum = fnv1a(&count, sizeof(count));
+    sum ^= fnv1a(entries, count * sizeof(QuarantineEntry));
+    return sum == 0 ? 1 : sum;
+}
+
+AllocHeader
+PmAllocator::expectedHeader() const
+{
+    // The layout is a pure function of the pool geometry — which is
+    // what makes the header *healable*: a flipped or poisoned header
+    // can be recomputed from scratch (see rebuild()).
+    uint64_t heapOff = pool_.heapOff();
+    uint64_t heapBytes = pool_.heapSize();
+    uint64_t headerEnd = alignUp(heapOff + sizeof(AllocHeader), 64);
+    uint64_t quarOff = headerEnd;
+    uint64_t bitmapOff = alignUp(quarOff + sizeof(QuarantineTable), 64);
+    uint64_t avail = heapBytes - (bitmapOff - heapOff);
+    // Each bitmap byte administers 8 granules = 128 data bytes.
+    uint64_t bitmapBytes = alignUp(avail / 129 + 1, 64);
+    uint64_t dataOff = alignUp(bitmapOff + bitmapBytes, kGranule);
+    CNVM_CHECK(dataOff < heapOff + heapBytes,
+               "heap too small to format");
+    uint64_t dataBytes =
+        (heapOff + heapBytes - dataOff) / kGranule * kGranule;
+    CNVM_CHECK(dataBytes / kGranule <= bitmapBytes * 8,
+               "bitmap sizing bug");
+    AllocHeader h{};
+    h.magic = kMagic;
+    h.bitmapOff = bitmapOff;
+    h.bitmapBytes = bitmapBytes;
+    h.dataOff = dataOff;
+    h.dataBytes = dataBytes;
+    h.quarOff = quarOff;
+    return h;
+}
+
 PmAllocator::PmAllocator(nvm::Pool& pool) : pool_(pool)
 {
     auto* h = static_cast<AllocHeader*>(pool_.at(pool_.heapOff()));
     if (h->magic != kMagic) {
-        // Format a fresh heap region. Bitmap sized so that
-        // bitmapBytes * 8 granules cover the remaining data area.
-        uint64_t heapOff = pool_.heapOff();
-        uint64_t heapBytes = pool_.heapSize();
-        uint64_t headerEnd = alignUp(heapOff + sizeof(AllocHeader), 64);
-        uint64_t avail = heapBytes - (headerEnd - heapOff);
-        // Each bitmap byte administers 8 granules = 128 data bytes.
-        uint64_t bitmapBytes = alignUp(avail / 129 + 1, 64);
-        uint64_t dataOff = alignUp(headerEnd + bitmapBytes, kGranule);
-        CNVM_CHECK(dataOff < heapOff + heapBytes,
-                   "heap too small to format");
-        uint64_t dataBytes =
-            (heapOff + heapBytes - dataOff) / kGranule * kGranule;
-        CNVM_CHECK(dataBytes / kGranule <= bitmapBytes * 8,
-                   "bitmap sizing bug");
-
-        AllocHeader newHdr{};
-        newHdr.magic = kMagic;
-        newHdr.bitmapOff = headerEnd;
-        newHdr.bitmapBytes = bitmapBytes;
-        newHdr.dataOff = dataOff;
-        newHdr.dataBytes = dataBytes;
-        // Zero the bitmap first (a re-created pool file is already
-        // zero, but a recycled region may not be).
+        // Format a fresh heap region.
+        AllocHeader newHdr = expectedHeader();
+        // Zero the bitmap and quarantine table first (a re-created
+        // pool file is already zero, but a recycled region may not
+        // be).
         std::vector<uint8_t> zeros(4096, 0);
-        for (uint64_t off = headerEnd; off < headerEnd + bitmapBytes;
+        for (uint64_t off = newHdr.bitmapOff;
+             off < newHdr.bitmapOff + newHdr.bitmapBytes;
              off += zeros.size()) {
-            uint64_t n = std::min<uint64_t>(zeros.size(),
-                                            headerEnd + bitmapBytes - off);
+            uint64_t n = std::min<uint64_t>(
+                zeros.size(),
+                newHdr.bitmapOff + newHdr.bitmapBytes - off);
             pool_.writeAt(off, zeros.data(), n);
         }
-        pool_.writeAt(heapOff, &newHdr, sizeof(newHdr));
-        pool_.flush(pool_.at(headerEnd), bitmapBytes);
+        QuarantineTable qt{};
+        qt.checksum = quarantineChecksum(0, qt.entries);
+        pool_.writeAt(newHdr.quarOff, &qt, sizeof(qt));
+        pool_.writeAt(pool_.heapOff(), &newHdr, sizeof(newHdr));
+        pool_.flush(pool_.at(newHdr.quarOff), sizeof(qt));
+        pool_.flush(pool_.at(newHdr.bitmapOff), newHdr.bitmapBytes);
         pool_.persist(h, sizeof(*h));
     }
     rebuild();
+}
+
+QuarantineTable*
+PmAllocator::quarTable() const
+{
+    return static_cast<QuarantineTable*>(pool_.at(hdr().quarOff));
 }
 
 const AllocHeader&
@@ -78,8 +112,14 @@ PmAllocator::payloadSize(uint64_t payloadOff) const
 {
     const auto* bh = static_cast<const BlockHeader*>(
         pool_.at(blockOff(payloadOff)));
-    CNVM_CHECK((bh->payloadBytes ^ kBlockMagic) == bh->check,
-               "corrupt block header");
+    pool_.checkRead(bh, sizeof(*bh));
+    if ((bh->payloadBytes ^ kBlockMagic) != bh->check) {
+        throw CorruptBlockError(
+            payloadOff,
+            strprintf("corrupt block header at pool offset %llu",
+                      static_cast<unsigned long long>(
+                          blockOff(payloadOff))));
+    }
     return bh->payloadBytes;
 }
 
@@ -197,8 +237,15 @@ PmAllocator::persistAllocate(uint64_t payloadOff)
 void
 PmAllocator::persistFree(uint64_t payloadOff)
 {
+    persistFree(payloadOff, payloadSize(payloadOff));
+}
+
+void
+PmAllocator::persistFree(uint64_t payloadOff, size_t payloadBytes)
+{
     uint64_t bOff = blockOff(payloadOff);
-    uint64_t granules = blockGranules(payloadOff);
+    uint64_t granules =
+        alignUp(sizeof(BlockHeader) + payloadBytes, kGranule) / kGranule;
     std::lock_guard<std::mutex> g(mu_);
     setBits(bOff, granules, false, true);
     insertFreeExtentLocked(bOff, granules * kGranule);
@@ -225,21 +272,229 @@ PmAllocator::revertBits(uint64_t payloadOff, size_t payloadBytes,
 }
 
 void
+PmAllocator::quarantineLocked(uint64_t off, uint64_t bytes,
+                              QuarantineReason reason)
+{
+    QuarantineTable* qt = quarTable();
+    // Idempotent: an already-covered range gets no second entry (the
+    // bits below are re-forced anyway).
+    bool covered = false;
+    for (uint32_t i = 0; i < qt->count; i++) {
+        const QuarantineEntry& e = qt->entries[i];
+        if (e.off <= off && off + bytes <= e.off + e.bytes) {
+            covered = true;
+            break;
+        }
+    }
+    if (!covered && qt->count < QuarantineTable::kCapacity) {
+        QuarantineEntry e{};
+        e.off = off;
+        e.bytes = bytes;
+        e.reason = reason;
+        uint32_t count = qt->count + 1;
+        pool_.write(&qt->entries[qt->count], &e, sizeof(e));
+        pool_.write(&qt->count, &count, sizeof(count));
+        uint64_t sum = quarantineChecksum(count, qt->entries);
+        pool_.write(&qt->checksum, &sum, sizeof(sum));
+        pool_.flush(qt, sizeof(QuarantineTable));
+        pool_.fence();
+        stats::bump(stats::Counter::quarantinedBlocks);
+        stats::bump(stats::Counter::quarantinedBytes, bytes);
+    }
+    // Force the covered granules allocated so no future rebuild can
+    // hand them out. The range is clipped to the data area (a bitmap
+    // chunk's tail can administer granules past dataBytes).
+    uint64_t lo = std::max(off, hdr().dataOff);
+    uint64_t hi = std::min(off + bytes, hdr().dataOff + hdr().dataBytes);
+    if (lo < hi) {
+        uint64_t granules = (hi - lo + kGranule - 1) / kGranule;
+        setBits(lo, granules, true, true);
+    }
+}
+
+void
+PmAllocator::quarantine(uint64_t blockOff, uint64_t bytes,
+                        QuarantineReason reason)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    quarantineLocked(blockOff, bytes, reason);
+    pool_.fence();
+}
+
+bool
+PmAllocator::isQuarantinedLocked(uint64_t off, uint64_t n) const
+{
+    const QuarantineTable* qt = quarTable();
+    for (uint32_t i = 0; i < qt->count; i++) {
+        const QuarantineEntry& e = qt->entries[i];
+        if (off < e.off + e.bytes && e.off < off + n)
+            return true;
+    }
+    return false;
+}
+
+bool
+PmAllocator::isQuarantined(uint64_t off, uint64_t n) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return isQuarantinedLocked(off, n);
+}
+
+uint32_t
+PmAllocator::quarantineCount() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return quarTable()->count;
+}
+
+uint64_t
+PmAllocator::quarantinedBytes() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const QuarantineTable* qt = quarTable();
+    uint64_t sum = 0;
+    for (uint32_t i = 0; i < qt->count; i++)
+        sum += qt->entries[i].bytes;
+    return sum;
+}
+
+bool
+PmAllocator::quarantineViolation() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const QuarantineTable* qt = quarTable();
+    for (uint32_t i = 0; i < qt->count; i++) {
+        const QuarantineEntry& e = qt->entries[i];
+        for (const auto& [off, len] : free_) {
+            if (off < e.off + e.bytes && e.off < off + len)
+                return true;
+        }
+    }
+    return false;
+}
+
+RebuildStats
 PmAllocator::rebuild()
 {
-    const AllocHeader& h = hdr();
+    RebuildStats st{};
     std::lock_guard<std::mutex> g(mu_);
     free_.clear();
     bySize_.clear();
-    const auto* bitmap =
-        static_cast<const uint8_t*>(pool_.at(h.bitmapOff));
+
+    // Heal the header before trusting a single offset below: its
+    // layout fields are recomputable, so a flipped, poisoned or
+    // simply wrong header is rewritten in place (the rewrite also
+    // clears the line's poison/taint).
+    {
+        AllocHeader want = expectedHeader();
+        auto* cur =
+            static_cast<AllocHeader*>(pool_.at(pool_.heapOff()));
+        bool bad = pool_.isTainted(cur, sizeof(*cur));
+        if (!bad) {
+            try {
+                pool_.checkRead(cur, sizeof(*cur));
+            } catch (const nvm::MediaFaultError&) {
+                bad = true;
+            }
+        }
+        if (!bad && std::memcmp(cur, &want, sizeof(want)) != 0)
+            bad = true;
+        if (bad) {
+            pool_.writeAt(pool_.heapOff(), &want, sizeof(want));
+            pool_.persist(pool_.at(pool_.heapOff()), sizeof(want));
+            st.headerHealed = true;
+        }
+    }
+    const AllocHeader& h = hdr();
+
+    // Validate the quarantine table before trusting it. An unreadable
+    // or checksum-failing table is reset: the ranges it described
+    // still have their bitmap bits forced allocated (quarantine does
+    // both), so nothing resurfaces — only the diagnostic record is
+    // lost.
+    QuarantineTable* qt = quarTable();
+    bool tableOk = true;
+    try {
+        pool_.checkRead(qt, sizeof(QuarantineTable));
+    } catch (const nvm::MediaFaultError&) {
+        tableOk = false;
+    }
+    if (tableOk && (qt->count > QuarantineTable::kCapacity ||
+                    quarantineChecksum(qt->count, qt->entries) !=
+                        qt->checksum)) {
+        tableOk = false;
+    }
+    if (!tableOk) {
+        QuarantineTable fresh{};
+        fresh.checksum = quarantineChecksum(0, fresh.entries);
+        pool_.writeAt(h.quarOff, &fresh, sizeof(fresh));
+        pool_.persist(pool_.at(h.quarOff), sizeof(fresh));
+        st.quarantineTableReset = true;
+    }
+
+    // Guarded bitmap scan into a trusted local copy. A 64-byte chunk
+    // that cannot be read (poison) or was bit-flipped (taint) cannot
+    // distinguish its allocated granules from its free ones: the
+    // whole 8 KiB it administers is quarantined, the chunk rewritten
+    // as all-ones (which also heals the line — fresh stores make the
+    // cell trustworthy again), and none of it enters the free map.
     uint64_t nGranules = h.dataBytes / kGranule;
+    uint64_t usedBitmapBytes = (nGranules + 7) / 8;
+    std::vector<uint8_t> bits(usedBitmapBytes, 0xff);
+    bool wroteBits = false;
+    for (uint64_t c = 0; c < usedBitmapBytes; c += 64) {
+        auto n = std::min<uint64_t>(64, usedBitmapBytes - c);
+        const void* src = pool_.at(h.bitmapOff + c);
+        bool bad = pool_.isTainted(src, n);
+        if (!bad) {
+            try {
+                pool_.checkRead(src, n);
+            } catch (const nvm::MediaFaultError&) {
+                bad = true;
+            }
+        }
+        if (!bad) {
+            std::memcpy(bits.data() + c, src, n);
+            continue;
+        }
+        st.poisonedChunks++;
+        uint64_t firstG = c * 8;
+        uint64_t lastG = std::min(firstG + n * 8, nGranules);
+        uint64_t off = h.dataOff + firstG * kGranule;
+        uint64_t bytes = (lastG - firstG) * kGranule;
+        std::vector<uint8_t> ones(n, 0xff);
+        pool_.writeAt(h.bitmapOff + c, ones.data(), n);
+        pool_.flush(src, n);
+        wroteBits = true;
+        quarantineLocked(off, bytes, kQuarPoisonedBitmap);
+        st.quarantinedBlocks++;
+        st.quarantinedBytes += bytes;
+    }
+    if (wroteBits)
+        pool_.fence();
+
+    // Quarantined ranges never re-enter the free map, even if their
+    // persistent bits were somehow cleared since (belt and braces:
+    // force them in the local copy too).
+    if (qt->count <= QuarantineTable::kCapacity) {
+        for (uint32_t i = 0; i < qt->count; i++) {
+            const QuarantineEntry& e = qt->entries[i];
+            uint64_t lo = std::max(e.off, h.dataOff);
+            uint64_t hi =
+                std::min(e.off + e.bytes, h.dataOff + h.dataBytes);
+            for (uint64_t b = lo; b < hi; b += kGranule) {
+                uint64_t gi = (b - h.dataOff) / kGranule;
+                bits[gi / 8] |= static_cast<uint8_t>(1u << (gi % 8));
+            }
+        }
+    }
+
     uint64_t runStart = 0;
     bool inRun = false;
     for (uint64_t i = 0; i <= nGranules; i++) {
         bool allocated =
             i < nGranules &&
-            (bitmap[i / 8] & (1u << (i % 8))) != 0;
+            (bits[i / 8] & (1u << (i % 8))) != 0;
         bool isFree = i < nGranules && !allocated;
         if (isFree && !inRun) {
             runStart = i;
@@ -250,6 +505,7 @@ PmAllocator::rebuild()
             inRun = false;
         }
     }
+    return st;
 }
 
 size_t

@@ -15,12 +15,20 @@
  *    free map is rebuilt from the (unchanged) bitmap first, so recovery
  *    is deterministic.
  *
- * Persistent layout inside the pool's heap region:
+ * Persistent layout inside the pool's heap region (pool version 2):
  *
- *   [ AllocHeader | allocation bitmap (1 bit / 16-byte granule) | data ]
+ *   [ AllocHeader | quarantine table | bitmap (1 bit / 16-byte
+ *     granule) | data ]
  *
  * Every block is preceded by a 16-byte header recording its payload
  * size (needed by free and by bit reverts).
+ *
+ * The quarantine table (PR 5) records heap ranges whose media went
+ * bad — a poisoned bitmap chunk, a block header that fails its
+ * checksum during salvage. Quarantined ranges have their bitmap bits
+ * forced allocated and the persistent table keeps rebuild() from ever
+ * returning them to the free map, so a bad cell can never be handed
+ * out again.
  */
 #ifndef CNVM_ALLOC_PM_ALLOCATOR_H
 #define CNVM_ALLOC_PM_ALLOCATOR_H
@@ -29,6 +37,7 @@
 #include <map>
 #include <mutex>
 
+#include "common/error.h"
 #include "nvm/pool.h"
 
 namespace cnvm::alloc {
@@ -42,12 +51,65 @@ struct AllocHeader {
     uint64_t bitmapBytes;
     uint64_t dataOff;      ///< pool offset of the first granule
     uint64_t dataBytes;
+    uint64_t quarOff;      ///< pool offset of the quarantine table
 };
 
 /** Per-block persistent header (16 bytes, precedes the payload). */
 struct BlockHeader {
     uint64_t payloadBytes;
     uint64_t check;        ///< payloadBytes ^ kBlockMagic
+};
+
+/** Why a heap range was quarantined. */
+enum QuarantineReason : uint32_t {
+    kQuarPoisonedBitmap = 1,  ///< its bitmap chunk is unreadable
+    kQuarCorruptHeader = 2,   ///< block header failed its checksum
+    kQuarPoisonedData = 3,    ///< data lines raised media faults
+};
+
+/** One quarantined heap range (absolute pool offsets). */
+struct QuarantineEntry {
+    uint64_t off;
+    uint64_t bytes;
+    uint32_t reason;       ///< QuarantineReason
+    uint32_t pad;
+};
+
+/** Persistent, self-validating quarantine table. */
+struct QuarantineTable {
+    static constexpr uint32_t kCapacity = 64;
+    uint32_t count;
+    uint32_t pad;
+    uint64_t checksum;     ///< quarantineChecksum(count, entries)
+    QuarantineEntry entries[kCapacity];
+};
+
+/** fnv1a over the live prefix of the table (0 maps to 1). */
+uint64_t quarantineChecksum(uint32_t count,
+                            const QuarantineEntry* entries);
+
+/**
+ * A block header failed its checksum (thrown by payloadSize instead of
+ * aborting the process: recovery quarantines the block and goes on).
+ */
+class CorruptBlockError : public FatalError {
+ public:
+    CorruptBlockError(uint64_t payloadOff, const std::string& what)
+        : FatalError(what), payloadOff_(payloadOff) {}
+
+    uint64_t payloadOff() const { return payloadOff_; }
+
+ private:
+    uint64_t payloadOff_;
+};
+
+/** What one rebuild() pass salvaged. */
+struct RebuildStats {
+    uint64_t quarantinedBlocks = 0;   ///< newly quarantined ranges
+    uint64_t quarantinedBytes = 0;
+    uint64_t poisonedChunks = 0;      ///< unreadable bitmap chunks
+    bool quarantineTableReset = false;///< table itself was corrupt
+    bool headerHealed = false;        ///< AllocHeader recomputed
 };
 
 class PmAllocator {
@@ -70,7 +132,11 @@ class PmAllocator {
     /** Roll back a reservation that never committed. */
     void releaseReservation(uint64_t payloadOff);
 
-    /** Payload size recorded in the block header. */
+    /**
+     * Payload size recorded in the block header.
+     * @throws CorruptBlockError if the header fails its checksum;
+     *         nvm::MediaFaultError if its line is poisoned.
+     */
     size_t payloadSize(uint64_t payloadOff) const;
 
     /**
@@ -86,6 +152,13 @@ class PmAllocator {
     void persistFree(uint64_t payloadOff);
 
     /**
+     * persistFree with the payload size supplied by the caller's
+     * intent table — trusts nothing on the media, so a block whose
+     * header line went bad can still be freed at commit.
+     */
+    void persistFree(uint64_t payloadOff, size_t payloadBytes);
+
+    /**
      * Recovery: force the bitmap bits of a block to `allocated`.
      * Idempotent; used when replaying/reverting intent logs. The size
      * comes from the caller's intent table — the block header itself
@@ -94,8 +167,31 @@ class PmAllocator {
     void revertBits(uint64_t payloadOff, size_t payloadBytes,
                     bool allocated);
 
-    /** Rebuild the volatile free map from the persistent bitmap. */
-    void rebuild();
+    /**
+     * Rebuild the volatile free map from the persistent bitmap.
+     * Bitmap chunks that are poisoned or tainted are quarantined (the
+     * granules they administer are forced allocated, persistently)
+     * rather than trusted; already-quarantined ranges never re-enter
+     * the free map. @return what this pass salvaged.
+     */
+    RebuildStats rebuild();
+
+    /**
+     * Persistently quarantine [payloadOff-16, ...) covering `bytes`
+     * of payload: record a table entry and force the bitmap bits
+     * allocated. Idempotent for an already-covered range.
+     */
+    void quarantine(uint64_t blockOff, uint64_t bytes,
+                    QuarantineReason reason);
+
+    /** Is any byte of [off, off+n) inside a quarantined range? */
+    bool isQuarantined(uint64_t off, uint64_t n) const;
+    uint32_t quarantineCount() const;
+    uint64_t quarantinedBytes() const;
+
+    /** Does any free extent overlap a quarantined range? (Torture
+     *  invariant: must always be false.) */
+    bool quarantineViolation() const;
 
     /** Total bytes in free extents (diagnostics / tests). */
     size_t freeBytes() const;
@@ -103,10 +199,24 @@ class PmAllocator {
     /** Number of free extents (fragmentation diagnostics). */
     size_t freeExtents() const;
 
+    /** @name Layout accessors (fault-region map, offline verify) */
+    /// @{
+    uint64_t bitmapOff() const { return hdr().bitmapOff; }
+    uint64_t bitmapBytes() const { return hdr().bitmapBytes; }
+    uint64_t dataOff() const { return hdr().dataOff; }
+    uint64_t dataBytes() const { return hdr().dataBytes; }
+    uint64_t quarTableOff() const { return hdr().quarOff; }
+    /// @}
+
     nvm::Pool& pool() { return pool_; }
 
  private:
     const AllocHeader& hdr() const;
+    AllocHeader expectedHeader() const;
+    QuarantineTable* quarTable() const;
+    void quarantineLocked(uint64_t off, uint64_t bytes,
+                          QuarantineReason reason);
+    bool isQuarantinedLocked(uint64_t off, uint64_t n) const;
     uint64_t blockOff(uint64_t payloadOff) const
     {
         return payloadOff - sizeof(BlockHeader);

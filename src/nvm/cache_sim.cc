@@ -296,6 +296,15 @@ CacheSim::crashAllLost()
     return crashImpl(nullptr, p);
 }
 
+bool
+CacheSim::isVolatile(uint64_t line)
+{
+    Shard& sh = shardOf(line);
+    std::lock_guard<std::mutex> g(sh.mu);
+    Slot* s = findSlot(sh, line);
+    return s != nullptr && (s->state == kDirty || s->state == kPending);
+}
+
 void
 CacheSim::discardAll()
 {

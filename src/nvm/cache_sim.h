@@ -152,6 +152,10 @@ class CacheSim {
         return volatile_.load(std::memory_order_relaxed);
     }
 
+    /** Is `line` currently dirty or pending? Probes one shard under
+     *  its lock (fault injection skips volatile lines). */
+    bool isVolatile(uint64_t line);
+
     /** Drop all tracking without mutating memory (clean shutdown). */
     void discardAll();
 

@@ -101,6 +101,9 @@ Pool::create(const PoolConfig& cfg)
     // The fresh mapping is already zero; persist the header explicitly.
     pool->write(pool->base_, &hdr, sizeof(hdr));
     pool->persist(pool->base_, sizeof(hdr));
+    if (FaultConfig::envEnabled())
+        pool->setFaultModel(
+            std::make_unique<FaultModel>(FaultConfig::fromEnv()));
     if (gCurrent == nullptr) {
         gCurrent = pool.get();
         pool->wasCurrent_ = true;
@@ -108,33 +111,89 @@ Pool::create(const PoolConfig& cfg)
     return pool;
 }
 
+namespace {
+
+[[noreturn]] void
+openFail(PoolOpenError::Reason reason, const std::string& msg)
+{
+    throw PoolOpenError(reason, msg);
+}
+
+}  // namespace
+
 std::unique_ptr<Pool>
 Pool::open(const std::string& path)
 {
     int fd = ::open(path.c_str(), O_RDWR);
     if (fd < 0)
-        fatal("cannot open pool file " + path);
+        openFail(PoolOpenError::Reason::io,
+                 "cannot open pool file " + path);
     struct ::stat st{};
     if (::fstat(fd, &st) != 0) {
         ::close(fd);
-        fatal("cannot stat pool file " + path);
+        openFail(PoolOpenError::Reason::io,
+                 "cannot stat pool file " + path);
     }
     auto size = static_cast<size_t>(st.st_size);
+    if (size < sizeof(PoolHeader)) {
+        ::close(fd);
+        openFail(PoolOpenError::Reason::truncated,
+                 strprintf("pool file %s truncated: %zu bytes, need "
+                           "at least the %zu-byte header",
+                           path.c_str(), size, sizeof(PoolHeader)));
+    }
     void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
                        MAP_SHARED, fd, 0);
     if (mem == MAP_FAILED) {
         ::close(fd);
-        fatal("cannot map pool file " + path);
+        openFail(PoolOpenError::Reason::io,
+                 "cannot map pool file " + path);
     }
     auto pool = std::unique_ptr<Pool>(new Pool());
     pool->fd_ = fd;
     pool->base_ = static_cast<uint8_t*>(mem);
     pool->mappedSize_ = size;
     pool->cache_ = std::make_unique<CacheSim>(pool->base_);
-    if (pool->header().magic != kMagic)
-        fatal("not a Clobber-NVM pool: " + path);
-    if (pool->header().version != kVersion)
-        fatal("pool version mismatch: " + path);
+    const PoolHeader& h = pool->header();
+    if (h.magic != kMagic)
+        openFail(PoolOpenError::Reason::badMagic,
+                 "not a Clobber-NVM pool: " + path);
+    if (h.version != kVersion)
+        openFail(PoolOpenError::Reason::badVersion,
+                 strprintf("pool %s has layout version %llu, this "
+                           "build reads version %llu",
+                           path.c_str(),
+                           static_cast<unsigned long long>(h.version),
+                           static_cast<unsigned long long>(kVersion)));
+    if (h.size != size)
+        openFail(PoolOpenError::Reason::sizeMismatch,
+                 strprintf("pool %s header records %llu bytes but the "
+                           "file holds %zu (truncated or grown since "
+                           "creation)",
+                           path.c_str(),
+                           static_cast<unsigned long long>(h.size),
+                           size));
+    // Offset sanity: a corrupt header must not send later slot/heap
+    // arithmetic outside the mapping. All sums are phrased as
+    // subtractions from h.size so a flipped high bit cannot wrap the
+    // comparison around.
+    uint64_t slotsEnd =
+        h.metaOff +
+        static_cast<uint64_t>(h.maxThreads) * h.slotBytes;
+    if (h.metaOff < sizeof(PoolHeader) || h.metaOff > h.size ||
+        h.slotBytes > h.size ||
+        static_cast<uint64_t>(h.maxThreads) * h.slotBytes > h.size ||
+        slotsEnd > h.heapOff || h.heapOff >= h.size ||
+        h.heapSize > h.size - h.heapOff || h.rootOff >= h.size ||
+        h.auxOff >= h.size) {
+        openFail(PoolOpenError::Reason::corruptHeader,
+                 "pool " + path +
+                     " header offsets are inconsistent (corrupt "
+                     "header)");
+    }
+    if (FaultConfig::envEnabled())
+        pool->setFaultModel(
+            std::make_unique<FaultModel>(FaultConfig::fromEnv()));
     if (gCurrent == nullptr) {
         gCurrent = pool.get();
         pool->wasCurrent_ = true;
@@ -164,6 +223,8 @@ Pool::write(void* dst, const void* src, size_t n)
         std::memcpy(dst, src, 8);  // common pointer/field case
     else
         std::memcpy(dst, src, n);
+    if (faults_ != nullptr) [[unlikely]]
+        faults_->noteWrite(offsetOf(dst), n);
     auto& tc = stats::local();
     tc.add(stats::Counter::nvmWrites);
     tc.add(stats::Counter::nvmWriteBytes, n);
@@ -237,18 +298,50 @@ Pool::slot(unsigned tid) const
     return base_ + header().metaOff + tid * header().slotBytes;
 }
 
+void
+Pool::setFaultModel(std::unique_ptr<FaultModel> fm)
+{
+    faults_ = std::move(fm);
+    if (faults_ == nullptr)
+        return;
+    // Coarse region map from the pool layout. The slot area is both
+    // "desc" and "log" at this granularity; rt::defineFaultRegions
+    // refines the split once a runtime knows the descriptor size.
+    const PoolHeader& h = header();
+    faults_->clearRegions();
+    faults_->addRegion(kFaultHeader, 0, h.metaOff);
+    faults_->addRegion(kFaultDesc, h.metaOff, h.heapOff);
+    faults_->addRegion(kFaultLog, h.metaOff, h.heapOff);
+    faults_->addRegion(kFaultHeap, h.heapOff, h.size);
+}
+
 size_t
 Pool::simulateCrash(uint64_t seed)
 {
     Xorshift rng(seed);
-    return cache_->crash(rng);
+    size_t reverted = cache_->crash(rng);
+    if (faults_ != nullptr && faults_->config().injectOnCrash)
+        faults_->inject(*this);
+    return reverted;
 }
 
 size_t
 Pool::simulateCrash(uint64_t seed, const CrashParams& params)
 {
     Xorshift rng(seed);
-    return cache_->crash(rng, params);
+    size_t reverted = cache_->crash(rng, params);
+    if (faults_ != nullptr && faults_->config().injectOnCrash)
+        faults_->inject(*this);
+    return reverted;
+}
+
+size_t
+Pool::simulateCrashAllLost()
+{
+    size_t reverted = cache_->crashAllLost();
+    if (faults_ != nullptr && faults_->config().injectOnCrash)
+        faults_->inject(*this);
+    return reverted;
 }
 
 }  // namespace cnvm::nvm

@@ -29,8 +29,10 @@
 #include <memory>
 #include <string>
 
+#include "common/error.h"
 #include "common/rand.h"
 #include "nvm/cache_sim.h"
+#include "nvm/fault_model.h"
 
 namespace cnvm::nvm {
 
@@ -41,6 +43,27 @@ namespace cnvm::nvm {
  * with simulateCrash(), and then run recovery.
  */
 struct CrashInjected {};
+
+/** Typed failure opening an existing pool file (Pool::open). */
+class PoolOpenError : public FatalError {
+ public:
+    enum class Reason {
+        io,            ///< open/stat/mmap failed
+        truncated,     ///< file too small to hold a header
+        badMagic,      ///< not a pool file
+        badVersion,    ///< layout version mismatch
+        sizeMismatch,  ///< header size != file size (wrong-size reopen)
+        corruptHeader, ///< header offsets out of bounds / inconsistent
+    };
+
+    PoolOpenError(Reason reason, const std::string& what)
+        : FatalError(what), reason_(reason) {}
+
+    Reason reason() const { return reason_; }
+
+ private:
+    Reason reason_;
+};
 
 struct PoolConfig {
     std::string path;               ///< empty => anonymous mapping
@@ -67,7 +90,8 @@ struct PoolHeader {
 class Pool {
  public:
     static constexpr uint64_t kMagic = 0xC10BBE12A112F00DULL;
-    static constexpr uint64_t kVersion = 1;
+    /** v2: heap region gained the persistent quarantine table. */
+    static constexpr uint64_t kVersion = 2;
 
     /** Create and format a new pool (truncates an existing file). */
     static std::unique_ptr<Pool> create(const PoolConfig& cfg);
@@ -142,14 +166,53 @@ class Pool {
     CacheSim& cache() { return *cache_; }
 
     /**
+     * @name Media-fault layer
+     *
+     * Attaching a FaultModel arms guarded reads (checkRead) and makes
+     * simulateCrash* run one seeded injection round after the tear.
+     * When no model is attached every hook is a null-pointer check.
+     * Pool::create/open attach one automatically when the
+     * CNVM_FAULT_* environment knobs request faults.
+     */
+    /// @{
+    /** Install `fm` (nullptr detaches) and set the coarse region map
+     *  (header / slot area / heap). rt::defineFaultRegions refines. */
+    void setFaultModel(std::unique_ptr<FaultModel> fm);
+    FaultModel* faults() const { return faults_.get(); }
+
+    /** Guarded read of [p, p+n): raises MediaFaultError on poisoned
+     *  lines (after internal transient retries). Recovery/salvage
+     *  paths call this before trusting pool memory. */
+    void
+    checkRead(const void* p, size_t n) const
+    {
+        if (faults_ != nullptr)
+            faults_->onRead(offsetOf(p), n);
+    }
+
+    /** Was any line of [p, p+n) bit-flipped and not rewritten? */
+    bool
+    isTainted(const void* p, size_t n) const
+    {
+        return faults_ != nullptr && faults_->tainted(offsetOf(p), n);
+    }
+    /// @}
+
+    /**
      * Inject a power failure: tear all volatile lines (see CacheSim).
      * The pool stays mapped; callers must re-run recovery afterwards.
+     * When a FaultModel is attached, one injection round follows the
+     * tear (media faults strike persisted lines at crash time).
      * @return reverted word count.
      */
     size_t simulateCrash(uint64_t seed);
 
     /** simulateCrash with explicit torn-write survival knobs. */
     size_t simulateCrash(uint64_t seed, const CrashParams& params);
+
+    /** Worst-case power failure: every volatile word reverts
+     *  (CacheSim::crashAllLost), then fault injection as above. */
+    size_t simulateCrashAllLost();
 
     /**
      * Arm a trap that throws CrashInjected instead of performing the
@@ -177,6 +240,7 @@ class Pool {
     size_t mappedSize_ = 0;
     int fd_ = -1;
     std::unique_ptr<CacheSim> cache_;
+    std::unique_ptr<FaultModel> faults_;
     bool wasCurrent_ = false;
 };
 

@@ -10,35 +10,7 @@
 
 namespace cnvm::rt {
 
-namespace {
-
-uint64_t
-entryChecksum(const LogEntryHeader& h, const uint8_t* data)
-{
-    uint64_t sum = fnv1a(&h.targetOff, sizeof(h.targetOff));
-    sum ^= fnv1a(&h.len, sizeof(h.len));
-    sum ^= fnv1a(&h.seqLo, sizeof(h.seqLo));
-    sum ^= fnv1a(data, h.len);
-    // A zero checksum would look like freshly-zeroed media.
-    return sum == 0 ? 1 : sum;
-}
-
-size_t
-alignUp8(size_t n)
-{
-    return (n + 7) / 8 * 8;
-}
-
-uint64_t
-intentChecksum(uint64_t seq, uint32_t count, const AllocIntent* table)
-{
-    uint64_t sum = fnv1a(&seq, sizeof(seq));
-    sum ^= fnv1a(&count, sizeof(count));
-    sum ^= fnv1a(table, count * sizeof(AllocIntent));
-    return sum == 0 ? 1 : sum;
-}
-
-}  // namespace
+using salvage::alignUp8;
 
 RuntimeBase::RuntimeBase(nvm::Pool& pool, alloc::PmAllocator& heap)
     : pool_(pool), heap_(heap), slots_(pool.maxThreads())
@@ -135,7 +107,8 @@ RuntimeBase::appendLogEntry(unsigned tid, uint64_t targetOff,
     h.targetOff = targetOff;
     h.len = len;
     h.seqLo = static_cast<uint32_t>(desc(tid).txSeq);
-    h.checksum = entryChecksum(h, static_cast<const uint8_t*>(payload));
+    h.checksum =
+        salvage::entryChecksum(h, static_cast<const uint8_t*>(payload));
     uint8_t* dst = logArea(tid) + s.logTail;
     pool_.write(dst, &h, sizeof(h));
     pool_.write(dst + sizeof(h), payload, len);
@@ -145,42 +118,20 @@ RuntimeBase::appendLogEntry(unsigned tid, uint64_t targetOff,
     s.logTail += need;
 }
 
-const std::vector<RuntimeBase::ScannedEntry>&
-RuntimeBase::scanLog(unsigned tid)
+const std::vector<ScannedEntry>&
+RuntimeBase::scanLog(unsigned tid, salvage::ScanStats* stats)
 {
     std::vector<ScannedEntry>& out = slot(tid).scanScratch;
-    out.clear();
-    const uint8_t* area = logArea(tid);
-    size_t cap = logCapacity();
-    size_t pos = 0;
-    auto seqLo = static_cast<uint32_t>(desc(tid).txSeq);
-    while (pos + sizeof(LogEntryHeader) <= cap) {
-        LogEntryHeader h;
-        std::memcpy(&h, area + pos, sizeof(h));
-        if (h.len == 0 || h.seqLo != seqLo)
-            break;
-        size_t need = sizeof(LogEntryHeader) + alignUp8(h.len);
-        if (pos + need > cap)
-            break;
-        const uint8_t* data = area + pos + sizeof(LogEntryHeader);
-        if (entryChecksum(h, data) != h.checksum)
-            break;
-        out.push_back(ScannedEntry{h.targetOff, h.len, data});
-        pos += need;
-    }
+    salvage::scanLogArea(&pool_, logArea(tid), logCapacity(),
+                         static_cast<uint32_t>(desc(tid).txSeq), out,
+                         stats);
     return out;
 }
 
 uint64_t
 RuntimeBase::beginChecksum(unsigned tid) const
 {
-    const TxDescriptor& d = desc(tid);
-    uint64_t sum = fnv1a(&d.txSeq, sizeof(d.txSeq));
-    sum ^= fnv1a(&d.fid, sizeof(d.fid));
-    sum ^= fnv1a(&d.argLen, sizeof(d.argLen));
-    if (d.argLen > 0 && d.argLen <= kMaxArgBytes)
-        sum ^= fnv1a(d.args, d.argLen);
-    return sum == 0 ? 1 : sum;
+    return salvage::beginChecksum(desc(tid));
 }
 
 bool
@@ -244,7 +195,7 @@ RuntimeBase::persistIntentsAndAllocs(unsigned tid)
         table.push_back(in);
     }
     auto count = static_cast<uint32_t>(table.size());
-    uint64_t sum = intentChecksum(d.txSeq, count, table.data());
+    uint64_t sum = salvage::intentChecksum(d.txSeq, count, table.data());
     pool_.write(&d.intentSeq, &d.txSeq, sizeof(d.txSeq));
     pool_.write(&d.intentCount, &count, sizeof(count));
     pool_.write(&d.intentSum, &sum, sizeof(sum));
@@ -267,10 +218,16 @@ RuntimeBase::finishIntentsAfterCommit(unsigned tid)
     SlotState& s = slot(tid);
     if (s.actions.empty())
         return;
+    // Free with the sizes recorded in the (just-persisted) intent
+    // table rather than re-reading block headers: the table is the
+    // authority, and a header whose media went bad must not be able
+    // to fail a commit that already passed its commit point.
+    TxDescriptor& d = desc(tid);
     bool anyFree = false;
-    for (const auto& [off, isFree] : s.actions) {
-        if (isFree) {
-            heap_.persistFree(off);
+    for (uint32_t i = 0; i < d.intentCount; i++) {
+        const AllocIntent& in = d.intents[i];
+        if (in.isFree != 0) {
+            heap_.persistFree(in.payloadOff, in.payloadBytes);
             anyFree = true;
         }
     }
@@ -280,7 +237,6 @@ RuntimeBase::finishIntentsAfterCommit(unsigned tid)
     // the freed block would leak forever.
     if (anyFree)
         pool_.fence();
-    TxDescriptor& d = desc(tid);
     uint32_t zero = 0;
     pool_.write(&d.intentCount, &zero, sizeof(zero));
     pool_.flush(&d.intentCount, sizeof(zero));
@@ -302,8 +258,8 @@ RuntimeBase::hasLiveIntents(unsigned tid) const
         d.intentCount > kMaxIntents) {
         return false;
     }
-    return intentChecksum(d.intentSeq, d.intentCount, d.intents) ==
-           d.intentSum;
+    return salvage::intentChecksum(d.intentSeq, d.intentCount,
+                                   d.intents) == d.intentSum;
 }
 
 void
@@ -343,6 +299,167 @@ RuntimeBase::reapplyAllocIntents(unsigned tid)
             heap_.revertBits(in.payloadOff, in.payloadBytes, true);
     }
     pool_.fence();
+}
+
+RuntimeBase::RecoverySession::RecoverySession(RuntimeBase& rt)
+    : rt_(rt)
+{
+    report_.slotsScanned = rt_.pool_.maxThreads();
+    if (const nvm::FaultModel* fm = rt_.pool_.faults()) {
+        poisonReads0_ = fm->poisonReads();
+        retries0_ = fm->retries();
+    }
+    rt_.report_ = &report_;
+}
+
+RuntimeBase::RecoverySession::~RecoverySession()
+{
+    rt_.report_ = nullptr;
+}
+
+txn::RecoveryReport
+RuntimeBase::RecoverySession::take()
+{
+    if (const nvm::FaultModel* fm = rt_.pool_.faults()) {
+        report_.poisonedReads = fm->poisonReads() - poisonReads0_;
+        report_.transientRetries = fm->retries() - retries0_;
+    }
+    rt_.report_ = nullptr;
+    return std::move(report_);
+}
+
+void
+RuntimeBase::recordSlot(txn::SlotRecovery s)
+{
+    if (report_ == nullptr)
+        return;
+    if (s.entriesDropped > 0) {
+        stats::bump(stats::Counter::salvageDroppedEntries,
+                    s.entriesDropped);
+    }
+    report_->add(std::move(s));
+}
+
+bool
+RuntimeBase::descReadable(unsigned tid)
+{
+    // Guard only the begin record (status through the v_log args).
+    // The intent table that follows carries its own checksum and its
+    // own guarded handler (liveIntentsGuarded) with better salvage
+    // semantics; vetting it here would shadow that path and turn
+    // every table fault into a blanket "descriptor poisoned" abort.
+    try {
+        pool_.checkRead(&desc(tid), offsetof(TxDescriptor, intentSeq));
+    } catch (const nvm::MediaFaultError&) {
+        return false;
+    }
+    return true;
+}
+
+int
+RuntimeBase::liveIntentsGuarded(unsigned tid)
+{
+    const TxDescriptor& d = desc(tid);
+    constexpr size_t tableBytes =
+        sizeof(TxDescriptor) - offsetof(TxDescriptor, intentSeq);
+    try {
+        pool_.checkRead(&d.intentSeq, tableBytes);
+    } catch (const nvm::MediaFaultError&) {
+        return -1;
+    }
+    if (hasLiveIntents(tid))
+        return 1;
+    // A table that *looks* live (right seq, sane count) but fails its
+    // checksum on a tainted line was corrupted, not torn: the alloc
+    // actions it described are unrecoverable.
+    if (d.intentSeq == d.txSeq && d.intentCount > 0 &&
+        d.intentCount <= kMaxIntents &&
+        pool_.isTainted(&d.intentSeq, tableBytes)) {
+        return -1;
+    }
+    return 0;
+}
+
+void
+RuntimeBase::salvageResetSlot(unsigned tid)
+{
+    // The slot is being abandoned because some of its lines are
+    // poisoned, flipped or unparseable. Rebuild the whole descriptor
+    // rather than patching fields: the full rewrite clears every
+    // stale field *and* heals the media (fresh stores make the lines
+    // trustworthy again), so the next recovery pass sees a clean idle
+    // slot instead of re-declaring the same damage forever. txSeq
+    // survives — bumped, so surviving log entries of the abandoned
+    // transaction can never validate again.
+    TxDescriptor& d = desc(tid);
+    TxDescriptor clean{};
+    std::memcpy(&clean.txSeq, &d.txSeq, sizeof(clean.txSeq));
+    clean.txSeq += 1;
+    clean.status = static_cast<uint64_t>(TxStatus::idle);
+    pool_.write(&d, &clean, sizeof(clean));
+    pool_.persist(&d, sizeof(clean));
+    stats::bump(stats::Counter::salvageAborts);
+}
+
+bool
+RuntimeBase::slotRecoverable(unsigned tid)
+{
+    // A begin record that reads back but sits on a flipped line is as
+    // untrustworthy as a poisoned one: a flipped status, txSeq or
+    // begin checksum silently misroutes the whole slot's recovery.
+    // Resetting without reverting intents can leak blocks, but
+    // replaying a possibly-flipped intent table could corrupt the
+    // bitmap — the leak is the safe direction, and it is declared.
+    // Only the begin record is vetted here; intent-table faults are
+    // the province of liveIntentsGuarded.
+    const char* why = nullptr;
+    if (!descReadable(tid))
+        why = "descriptor poisoned";
+    else if (pool_.isTainted(&desc(tid),
+                             offsetof(TxDescriptor, intentSeq)))
+        why = "descriptor tainted (bit flip)";
+    if (why == nullptr)
+        return true;
+    txn::SlotRecovery sr;
+    sr.tid = tid;
+    sr.action = txn::SlotAction::salvageAborted;
+    sr.note = why;
+    recordSlot(std::move(sr));
+    salvageResetSlot(tid);
+    return false;
+}
+
+void
+RuntimeBase::recoverIdleIntents(unsigned tid, bool committed)
+{
+    int live = liveIntentsGuarded(tid);
+    if (live > 0) {
+        recoverIntents(tid, committed);
+        txn::SlotRecovery sr;
+        sr.tid = tid;
+        sr.action = committed ? txn::SlotAction::intentsCompleted
+                              : txn::SlotAction::intentsReverted;
+        recordSlot(std::move(sr));
+    } else if (live < 0) {
+        if (report_ != nullptr)
+            report_->intentTablesLost++;
+        salvageResetSlot(tid);
+        txn::SlotRecovery sr;
+        sr.tid = tid;
+        sr.action = txn::SlotAction::salvageAborted;
+        sr.note = "alloc intent table unreadable or corrupt";
+        recordSlot(std::move(sr));
+    }
+}
+
+void
+RuntimeBase::rebuildHeap()
+{
+    alloc::RebuildStats rs = heap_.rebuild();
+    if (report_ != nullptr) {
+        report_->quarantinedBlocks += rs.quarantinedBlocks;
+        report_->quarantinedBytes += rs.quarantinedBytes;
+    }
 }
 
 void

@@ -17,6 +17,7 @@
 #include "common/epoch_set.h"
 #include "nvm/pool.h"
 #include "runtimes/descriptor.h"
+#include "runtimes/salvage.h"
 #include "txn/runtime.h"
 
 namespace cnvm::rt {
@@ -58,13 +59,6 @@ class RuntimeBase : public txn::Runtime {
     void dealloc(unsigned tid, uint64_t payloadOff) override;
 
  protected:
-    /** A validated log entry surfaced during recovery. */
-    struct ScannedEntry {
-        uint64_t targetOff;
-        uint32_t len;
-        const uint8_t* data;
-    };
-
     /** Volatile per-slot transaction state. */
     struct SlotState {
         bool inTx = false;
@@ -188,11 +182,15 @@ class RuntimeBase : public txn::Runtime {
                         LogFence fence);
 
     /**
-     * All valid entries of the slot's current transaction, in order.
-     * The returned vector is the slot's scratch buffer: valid until
-     * the next scanLog() call on the same slot.
+     * All valid entries of the slot's current transaction, in order,
+     * salvaged across damaged stretches (see salvage::scanLogArea).
+     * `stats` (optional) receives what the scan observed — protocols
+     * use stats->damaged() to decide between ordinary replay and a
+     * salvage abort. The returned vector is the slot's scratch
+     * buffer: valid until the next scanLog() call on the same slot.
      */
-    const std::vector<ScannedEntry>& scanLog(unsigned tid);
+    const std::vector<ScannedEntry>&
+    scanLog(unsigned tid, salvage::ScanStats* stats = nullptr);
 
     /**
      * Persist the begin record. Writes status/txSeq (+fid/args when
@@ -256,6 +254,79 @@ class RuntimeBase : public txn::Runtime {
 
     /** Write status=idle, flush, fence. */
     void persistIdle(unsigned tid);
+
+    /**
+     * @name Salvage support
+     *
+     * recover() implementations open a RecoverySession, which exposes
+     * the in-progress txn::RecoveryReport through report_ (null
+     * outside recovery, so the hot path never touches it) and
+     * snapshots the fault model's counters to attribute poisoned
+     * reads and retries to this pass. The session is exception-safe:
+     * a CrashInjected thrown mid-recovery (crash-during-recovery
+     * torture) unwinds it cleanly and the next recover() starts a
+     * fresh report.
+     */
+    /// @{
+    class RecoverySession {
+     public:
+        explicit RecoverySession(RuntimeBase& rt);
+        ~RecoverySession();
+
+        txn::RecoveryReport& report() { return report_; }
+        /** Finalize (fill media-counter deltas) and move out. */
+        txn::RecoveryReport take();
+
+     private:
+        RuntimeBase& rt_;
+        txn::RecoveryReport report_;
+        uint64_t poisonReads0_ = 0;
+        uint64_t retries0_ = 0;
+    };
+
+    /** Record a per-slot salvage outcome (no-op outside recovery). */
+    void recordSlot(txn::SlotRecovery s);
+
+    /** Can the slot's descriptor be read at all? Poisoned descriptors
+     *  are recorded as salvage-aborted by the caller. */
+    bool descReadable(unsigned tid);
+
+    /**
+     * hasLiveIntents with media awareness: 1 = live table, 0 = none,
+     * -1 = the table is poisoned or looks live but fails its checksum
+     * on a tainted line (record as intentTablesLost).
+     */
+    int liveIntentsGuarded(unsigned tid);
+
+    /**
+     * Abandon a slot's transaction after salvage: invalidate the
+     * intent table and the begin record, persist idle. Unlike
+     * persistIdle this does not count a commit.
+     */
+    void salvageResetSlot(unsigned tid);
+
+    /**
+     * Common recover() preamble for one slot. False means the
+     * descriptor itself is unreadable: the slot has been recorded as
+     * salvage-aborted and persistently reset (the reset writes heal
+     * the poisoned lines), and the caller must skip it.
+     */
+    bool slotRecoverable(unsigned tid);
+
+    /**
+     * Media-aware recoverIntents for a slot with no interrupted
+     * transaction: completes (or reverts, per `committed`) a live
+     * table, or — if the table is poisoned/corrupt — records it lost
+     * and resets the slot.
+     */
+    void recoverIdleIntents(unsigned tid, bool committed);
+
+    /** heap_.rebuild() folding quarantine stats into the report. */
+    void rebuildHeap();
+
+    /** Active recovery report; null outside recover(). */
+    txn::RecoveryReport* report_ = nullptr;
+    /// @}
 
     /**
      * True iff slot `tid` holds an interrupted transaction whose begin

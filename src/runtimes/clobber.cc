@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "alloc/pm_allocator.h"
 #include "common/error.h"
+#include "nvm/fault_model.h"
 #include "stats/counters.h"
 #include "txn/registry.h"
 #include "txn/tx.h"
@@ -21,6 +23,11 @@ ClobberRuntime::load(unsigned tid, void* dst, const void* src, size_t n)
 {
     if (n == 0)
         return;
+    // During recovery re-execution the txfunc's input reads come from
+    // the media; a poisoned line must raise rather than silently feed
+    // the re-execution garbage. Outside recovery this is a null check.
+    if (recovering_ && pool_.faults() != nullptr)
+        pool_.checkRead(src, n);
     SlotState& s = slot(tid);
     auto [first, last] = blockRangeOf(src, n);
     if (!s.inLoadRun(first, last)) {
@@ -118,10 +125,11 @@ ClobberRuntime::txCommit(unsigned tid)
     s.inTx = false;
 }
 
-void
+salvage::ScanStats
 ClobberRuntime::restoreSlot(unsigned tid)
 {
-    const auto& entries = scanLog(tid);
+    salvage::ScanStats st;
+    const auto& entries = scanLog(tid, &st);
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
         if (it->targetOff == kMarkerOff)
             continue;  // bookkeeping record, not a memory image
@@ -131,6 +139,7 @@ ClobberRuntime::restoreSlot(unsigned tid)
     pool_.fence();
     recoverIntents(tid, /* committed */ false);
     stats::bump(stats::Counter::recoveries);
+    return st;
 }
 
 void
@@ -173,25 +182,87 @@ ClobberRuntime::reexecuteSlot(unsigned tid)
 }
 
 void
+ClobberRuntime::abortReexecution(unsigned tid, const char* why)
+{
+    // The partial re-execution wrote in place under a fresh txSeq with
+    // its own clobber entries: restore those, revert its intents, and
+    // abandon the transaction. Blind writes of the aborted txfunc may
+    // survive — inherent to the clobber protocol, which is why the
+    // abort is declared in the report rather than papered over.
+    restoreSlot(tid);
+    salvageResetSlot(tid);
+    slot(tid) = SlotState{};
+    txn::SlotRecovery sr;
+    sr.tid = tid;
+    sr.action = txn::SlotAction::salvageAborted;
+    sr.note = std::string("re-execution aborted: ") + why;
+    recordSlot(std::move(sr));
+}
+
+txn::RecoveryReport
 ClobberRuntime::recover()
 {
+    RecoverySession session(*this);
     // Phase 1: restore every interrupted transaction's clobbered
-    // inputs and revert its allocation intents.
+    // inputs and revert its allocation intents. A damaged clobber log
+    // means some pre-state is unrecoverable: restore what validated,
+    // but do NOT re-execute — the txfunc would read partly-garbage
+    // inputs and commit on top of them.
     std::vector<unsigned> interrupted;
     for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
+        if (!slotRecoverable(tid)) {
+            slot(tid) = SlotState{};
+            continue;
+        }
         if (isOngoing(tid)) {
-            restoreSlot(tid);
-            interrupted.push_back(tid);
-        } else if (hasLiveIntents(tid)) {
-            recoverIntents(tid, /* committed */ true);
+            salvage::ScanStats st = restoreSlot(tid);
+            if (st.damaged()) {
+                salvageResetSlot(tid);
+                txn::SlotRecovery sr;
+                sr.tid = tid;
+                sr.action = txn::SlotAction::salvageAborted;
+                sr.entriesApplied = st.entries;
+                sr.entriesDropped = st.droppedEntries;
+                sr.note = st.sawPoison ? "clobber log poisoned"
+                                       : "clobber log corrupted mid-log";
+                recordSlot(std::move(sr));
+            } else {
+                interrupted.push_back(tid);
+            }
+        } else {
+            recoverIdleIntents(tid, /* committed */ true);
         }
         slot(tid) = SlotState{};
     }
     // Phase 2: rebuild the allocator's volatile state from the (now
     // reverted) bitmap, then re-execute each transaction to completion.
-    heap_.rebuild();
-    for (unsigned tid : interrupted)
-        reexecuteSlot(tid);
+    rebuildHeap();
+    for (unsigned tid : interrupted) {
+        try {
+            reexecuteSlot(tid);
+            txn::SlotRecovery sr;
+            sr.tid = tid;
+            sr.action = txn::SlotAction::reexecuted;
+            recordSlot(std::move(sr));
+        } catch (const nvm::MediaFaultError& e) {
+            // A guarded input load hit a poisoned line mid-txfunc
+            // (CrashInjected propagates: that is the torture harness
+            // tearing the pool, not a media fault).
+            abortReexecution(tid, e.what());
+        } catch (const alloc::CorruptBlockError& e) {
+            // Commit-time intent persist tripped on a block whose
+            // header no longer validates; wall it off so the damage
+            // cannot spread through the free list.
+            heap_.quarantine(e.payloadOff() - sizeof(alloc::BlockHeader),
+                             alloc::kGranule, alloc::kQuarCorruptHeader);
+            if (report_ != nullptr) {
+                report_->quarantinedBlocks++;
+                report_->quarantinedBytes += alloc::kGranule;
+            }
+            abortReexecution(tid, e.what());
+        }
+    }
+    return session.take();
 }
 
 }  // namespace cnvm::rt

@@ -57,7 +57,7 @@ class ClobberRuntime : public RuntimeBase {
                size_t n) override;
     void load(unsigned tid, void* dst, const void* src,
               size_t n) override;
-    void recover() override;
+    txn::RecoveryReport recover() override;
     bool recovering() const override { return recovering_; }
 
     ClobberPolicy policy() const { return policy_; }
@@ -81,15 +81,21 @@ class ClobberRuntime : public RuntimeBase {
 
     ClobberPolicy policy_;
     bool clobberLogEnabled_ = true;
+    /** True while a txfunc re-executes during recovery. Guarded loads
+     *  (media faults) are only armed in this window; shared with the
+     *  iDO runtime's load path. */
+    bool recovering_ = false;
 
  private:
-    /** Restore clobbered inputs, revert intents (phase 1 of recovery). */
-    void restoreSlot(unsigned tid);
+    /** Restore clobbered inputs, revert intents (phase 1 of
+     *  recovery). @return what the log scan observed. */
+    salvage::ScanStats restoreSlot(unsigned tid);
     /** Re-execute the interrupted txfunc (phase 2 of recovery). */
     void reexecuteSlot(unsigned tid);
+    /** Roll back a partially re-executed slot and abandon it. */
+    void abortReexecution(unsigned tid, const char* why);
 
     bool vlogEnabled_ = true;
-    bool recovering_ = false;
 };
 
 }  // namespace cnvm::rt

@@ -31,6 +31,10 @@ IdoRuntime::load(unsigned tid, void* dst, const void* src, size_t n)
 {
     if (n == 0)
         return;
+    // Same media guard as ClobberRuntime::load — recovery here is the
+    // inherited restore-and-re-execute.
+    if (recovering_ && pool_.faults() != nullptr)
+        pool_.checkRead(src, n);
     SlotState& s = slot(tid);
     auto [first, last] = blockRangeOf(src, n);
     // loadRun invariant (iDO): run blocks carry READ|WRITTEN *and*

@@ -30,7 +30,7 @@ class NoLogRuntime : public RuntimeBase {
               size_t n) override;
     uint64_t alloc(unsigned tid, size_t n) override;
     void dealloc(unsigned tid, uint64_t payloadOff) override;
-    void recover() override;
+    txn::RecoveryReport recover() override;
 };
 
 }  // namespace cnvm::rt

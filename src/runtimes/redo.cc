@@ -162,28 +162,56 @@ RedoRuntime::txCommit(unsigned tid)
     s.inTx = false;
 }
 
-void
+txn::RecoveryReport
 RedoRuntime::recover()
 {
+    RecoverySession session(*this);
     for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
+        if (!slotRecoverable(tid)) {
+            slot(tid) = SlotState{};
+            writeMaps_[tid].clear();
+            continue;
+        }
         TxDescriptor& d = desc(tid);
         if (d.status == static_cast<uint64_t>(TxStatus::committing)) {
             // Roll forward: replay the log in order, finish intents.
-            const auto& entries = scanLog(tid);
-            for (const auto& e : entries) {
-                pool_.writeAt(e.targetOff, e.data, e.len);
-                pool_.flush(pool_.at(e.targetOff), e.len);
+            // Every entry was flushed and drained by the commit-path
+            // fence *before* the commit record, so in this state an
+            // incomplete scan — damage or even a clean-looking torn
+            // tail — can only mean media corruption, and a partial
+            // replay would expose a half-applied transaction.
+            salvage::ScanStats st;
+            const auto& entries = scanLog(tid, &st);
+            txn::SlotRecovery sr;
+            sr.tid = tid;
+            sr.entriesDropped = st.droppedEntries;
+            if (st.damaged() || st.tornTail) {
+                recoverIntents(tid, /* committed */ false);
+                salvageResetSlot(tid);
+                sr.action = txn::SlotAction::salvageAborted;
+                sr.note = "committed transaction lost: redo log " +
+                          std::string(st.sawPoison ? "poisoned"
+                                                   : "corrupted");
+            } else {
+                for (const auto& e : entries) {
+                    if (e.targetOff == kMarkerOff)
+                        continue;
+                    pool_.writeAt(e.targetOff, e.data, e.len);
+                    pool_.flush(pool_.at(e.targetOff), e.len);
+                    sr.entriesApplied++;
+                }
+                pool_.fence();
+                reapplyAllocIntents(tid);
+                recoverIntents(tid, /* committed */ true);
+                persistIdle(tid);
+                sr.action = txn::SlotAction::rolledForward;
+                stats::bump(stats::Counter::recoveries);
             }
-            pool_.fence();
-            reapplyAllocIntents(tid);
-            recoverIntents(tid, /* committed */ true);
-            persistIdle(tid);
-            stats::bump(stats::Counter::recoveries);
-        } else if (hasLiveIntents(tid)) {
+            recordSlot(std::move(sr));
+        } else {
             // Crashed between intent persistence and the commit
             // record: the transaction is discarded, revert its allocs.
-            recoverIntents(tid, /* committed */ false);
-            stats::bump(stats::Counter::recoveries);
+            recoverIdleIntents(tid, /* committed */ false);
         }
         slot(tid) = SlotState{};
         writeMaps_[tid].clear();
@@ -201,7 +229,8 @@ RedoRuntime::recover()
         pool_.flush(&d.txSeq, sizeof(seq));
     }
     pool_.fence();
-    heap_.rebuild();
+    rebuildHeap();
+    return session.take();
 }
 
 }  // namespace cnvm::rt

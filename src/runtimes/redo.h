@@ -36,7 +36,7 @@ class RedoRuntime : public RuntimeBase {
     void initZero(unsigned tid, void* dst, size_t n) override;
     void load(unsigned tid, void* dst, const void* src,
               size_t n) override;
-    void recover() override;
+    txn::RecoveryReport recover() override;
 
  private:
     /** Effective 8-byte word at `wordOff` (write set wins over home). */

@@ -79,32 +79,58 @@ UndoRuntime::txCommit(unsigned tid)
 void
 UndoRuntime::rollbackSlot(unsigned tid)
 {
-    const auto& entries = scanLog(tid);
+    salvage::ScanStats st;
+    const auto& entries = scanLog(tid, &st);
+    uint64_t applied = 0;
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
         if (it->targetOff == kMarkerOff)
             continue;  // bookkeeping record, not a memory image
         pool_.writeAt(it->targetOff, it->data, it->len);
         pool_.flush(pool_.at(it->targetOff), it->len);
+        applied++;
     }
     pool_.fence();
     recoverIntents(tid, /* committed */ false);
-    persistIdle(tid);
-    stats::bump(stats::Counter::recoveries);
+    txn::SlotRecovery sr;
+    sr.tid = tid;
+    sr.entriesApplied = applied;
+    sr.entriesDropped = st.droppedEntries;
+    if (st.damaged()) {
+        // Some pre-images were unrecoverable: the roll-back restored
+        // every value that still validated, but the transaction's
+        // footprint cannot be fully reverted. Abandon it, visibly.
+        salvageResetSlot(tid);
+        sr.action = txn::SlotAction::salvageAborted;
+        sr.note = st.sawPoison ? "undo log poisoned"
+                               : "undo log corrupted mid-log";
+    } else {
+        persistIdle(tid);
+        sr.action = txn::SlotAction::rolledBack;
+        stats::bump(stats::Counter::recoveries);
+    }
+    recordSlot(std::move(sr));
 }
 
-void
+txn::RecoveryReport
 UndoRuntime::recover()
 {
+    RecoverySession session(*this);
     for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
+        if (!slotRecoverable(tid)) {
+            slot(tid) = SlotState{};
+            continue;
+        }
         if (isOngoing(tid)) {
             rollbackSlot(tid);
-        } else if (hasLiveIntents(tid)) {
-            // Crashed between the commit point and free completion.
-            recoverIntents(tid, /* committed */ true);
+        } else {
+            // Crashed between the commit point and free completion
+            // (live table), or the table itself went bad.
+            recoverIdleIntents(tid, /* committed */ true);
         }
         slot(tid) = SlotState{};
     }
-    heap_.rebuild();
+    rebuildHeap();
+    return session.take();
 }
 
 }  // namespace cnvm::rt

@@ -32,7 +32,7 @@ class UndoRuntime : public RuntimeBase {
                size_t n) override;
     void load(unsigned tid, void* dst, const void* src,
               size_t n) override;
-    void recover() override;
+    txn::RecoveryReport recover() override;
 
  protected:
     /** Undo-log [dst, dst+n) if any of it is not yet logged. */

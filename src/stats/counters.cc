@@ -57,6 +57,16 @@ counterName(Counter c)
         return "persist_dirty_at_commit";
       case Counter::persistPendingAtCommit:
         return "persist_pending_at_commit";
+      case Counter::mediaBitFlips: return "media_bit_flips";
+      case Counter::mediaPoisons: return "media_poisons";
+      case Counter::mediaTransients: return "media_transients";
+      case Counter::mediaPoisonReads: return "media_poison_reads";
+      case Counter::mediaRetries: return "media_retries";
+      case Counter::salvageDroppedEntries:
+        return "salvage_dropped_entries";
+      case Counter::salvageAborts: return "salvage_aborts";
+      case Counter::quarantinedBlocks: return "quarantined_blocks";
+      case Counter::quarantinedBytes: return "quarantined_bytes";
       case Counter::kNumCounters: break;
     }
     return "unknown";

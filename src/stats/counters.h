@@ -47,6 +47,15 @@ enum class Counter : unsigned {
     persistChecks,    ///< commits audited by the durability validator
     persistDirtyAtCommit,    ///< lines dirty (never flushed) at commit
     persistPendingAtCommit,  ///< lines flushed but unfenced at commit
+    mediaBitFlips,    ///< injected bit flips (FaultModel)
+    mediaPoisons,     ///< injected poisoned lines
+    mediaTransients,  ///< injected transient-fault lines
+    mediaPoisonReads, ///< guarded reads that hit a poisoned line
+    mediaRetries,     ///< transient-fault read retries
+    salvageDroppedEntries,   ///< log entries dropped by salvage scans
+    salvageAborts,    ///< transactions declared salvage-aborted
+    quarantinedBlocks,       ///< heap ranges quarantined at rebuild
+    quarantinedBytes,
     kNumCounters
 };
 

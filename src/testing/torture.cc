@@ -4,6 +4,8 @@
 
 #include "common/error.h"
 #include "common/rand.h"
+#include "nvm/fault_model.h"
+#include "runtimes/salvage.h"
 #include "sim/executor.h"
 
 namespace cnvm::torture {
@@ -155,14 +157,46 @@ TortureRig::~TortureRig()
 }
 
 void
-TortureRig::crashAndRecover(Tear tear, uint64_t seed,
-                            const nvm::CrashParams& params)
+TortureRig::enableFaults(const FaultSpec& spec)
 {
+    nvm::FaultConfig fc;
+    fc.seed = spec.seed;
+    fc.bitFlips = spec.bitFlips;
+    fc.poisons = spec.poisons;
+    fc.transients = spec.transients;
+    fc.regionMask = spec.regionMask;
+    fc.injectOnCrash = true;
+    pool_->setFaultModel(std::make_unique<nvm::FaultModel>(fc));
+    rt::defineFaultRegions(*pool_, *heap_);
+}
+
+void
+TortureRig::crashAndRecover(Tear tear, uint64_t seed,
+                            const nvm::CrashParams& params,
+                            int recoveryRetears)
+{
+    // simulateCrash*() runs the fault model's injection round (a
+    // no-op when no model is attached).
     if (tear == Tear::allLost)
-        pool_->cache().crashAllLost();
+        pool_->simulateCrashAllLost();
     else
         pool_->simulateCrash(seed, params);
-    runtime_->recover();
+    for (int r = 0; r < recoveryRetears; r++) {
+        // Crash recovery itself partway through, re-tear (another
+        // injection round), and try again: recovery must be
+        // idempotent even while faults keep landing. The arm point
+        // walks forward per round to sample different windows.
+        sched_->arm(7 + 13 * static_cast<uint64_t>(r));
+        try {
+            lastReport_ = runtime_->recover();
+            sched_->disarm();
+            return;  // recovery outran the trap
+        } catch (const nvm::CrashInjected&) {
+            sched_->disarm();
+            pool_->simulateCrashAllLost();
+        }
+    }
+    lastReport_ = runtime_->recover();
 }
 
 std::string
@@ -438,6 +472,226 @@ exhaustiveSweep(txn::RuntimeKind kind, const std::string& structure,
     return res;
 }
 
+std::string
+MediaSweepResult::summary(txn::RuntimeKind kind,
+                          const std::string& structure) const
+{
+    return strprintf(
+        "%-8s %-8s media %s: %llu cases, %llu crashes, %llu salvage "
+        "aborts, %llu strict + %llu relaxed audits, %llu collateral "
+        "keys%s%s%s",
+        kindName(kind), structure.c_str(), passed ? "PASS" : "FAIL",
+        static_cast<unsigned long long>(cases),
+        static_cast<unsigned long long>(crashes),
+        static_cast<unsigned long long>(salvageAborts),
+        static_cast<unsigned long long>(strictAudits),
+        static_cast<unsigned long long>(relaxedAudits),
+        static_cast<unsigned long long>(collateralKeys),
+        truncated ? " (budget-truncated)" : "",
+        failure.empty()
+            ? ""
+            : strprintf("\n    first failure (event index %llu): ",
+                        static_cast<unsigned long long>(failingIndex))
+                  .c_str(),
+        failure.c_str());
+}
+
+MediaSweepResult
+mediaFaultSweep(txn::RuntimeKind kind, const std::string& structure,
+                const MediaSweepConfig& cfg)
+{
+    MediaSweepResult res;
+    int quiet = 0;
+
+    auto fail = [&](uint64_t k, const std::string& why) {
+        if (!res.passed)
+            return;
+        res.passed = false;
+        res.failingIndex = k;
+        res.failure = why + strprintf(
+            "\n    reproduce: cnvm_torture --protocol %s --structure "
+            "%s --mode media --fault %u:%u:%u --fault-regions %s "
+            "--fault-recovery %d --fault-seed %llu --index %llu",
+            kindName(kind), structure.c_str(), cfg.faults.bitFlips,
+            cfg.faults.poisons, cfg.faults.transients,
+            nvm::faultRegionNames(cfg.faults.regionMask).c_str(),
+            cfg.faults.duringRecoveryRounds,
+            static_cast<unsigned long long>(cfg.seed),
+            static_cast<unsigned long long>(k));
+    };
+
+    for (uint64_t k = cfg.startIndex; quiet < cfg.quietRuns && res.passed;
+         k++) {
+        if (cfg.budget != 0 && res.cases >= cfg.budget) {
+            res.truncated = true;
+            break;
+        }
+        if (k > cfg.maxIndex) {
+            fail(k, "media sweep did not quiesce (maxIndex hit)");
+            break;
+        }
+        // Every case is a fresh rig: faults from one case must never
+        // bleed into the next, and a failing index replays exactly.
+        TortureRig rig(kind, structure, cfg.poolBytes);
+        FaultSpec fs = cfg.faults;
+        fs.enabled = true;
+        fs.seed = cfg.seed * 0x9e3779b97f4a7c15ULL + k;
+        rig.enableFaults(fs);
+
+        // Committed baseline. Injection only fires on tears, so these
+        // crash-free inserts populate deterministically.
+        bool ok = true;
+        for (int i = 0; ok && i < cfg.baselineKeys; i++) {
+            std::string key = strprintf("b%07d", i);
+            std::string val = valueFor(key, cfg.seed, 20);
+            try {
+                rig.kv().insert(key, val);
+                rig.shadow().noteInsert(key, val);
+            } catch (const PanicError& e) {
+                fail(k, strprintf("baseline insert panicked: %s",
+                                  e.what()));
+                ok = false;
+            }
+        }
+        if (!ok)
+            break;
+
+        // One armed mutating op, shape cycling with the index so the
+        // sweep crosses insert, in-place/resize update and remove.
+        unsigned shape = cfg.baselineKeys >= 2 ? k % 3 : 1;
+        bool isInsert = true;
+        std::string key, val;
+        switch (shape) {
+          case 0:  // update an existing key (size change)
+            key = "b0000000";
+            val = valueFor(key, cfg.seed + k, 28);
+            break;
+          case 1:  // fresh insert
+            key = strprintf("m%07llu",
+                            static_cast<unsigned long long>(k));
+            val = valueFor(key, cfg.seed, 20);
+            break;
+          default:  // remove a committed victim
+            isInsert = false;
+            key = "b0000001";
+            break;
+        }
+        res.cases++;
+        rig.sched().arm(k);
+        bool crashed = false;
+        try {
+            if (isInsert)
+                rig.kv().insert(key, val);
+            else
+                rig.kv().remove(key);
+        } catch (const nvm::CrashInjected&) {
+            crashed = true;
+        } catch (const PanicError& e) {
+            rig.sched().disarm();
+            fail(k, strprintf("armed op panicked: %s", e.what()));
+            break;
+        } catch (const FatalError& e) {
+            rig.sched().disarm();
+            fail(k, strprintf("armed op failed: %s", e.what()));
+            break;
+        }
+        rig.sched().disarm();
+        if (!crashed) {
+            quiet++;
+            if (isInsert)
+                rig.shadow().noteInsert(key, val);
+            else
+                rig.shadow().noteRemove(key);
+            std::string err = rig.shadow().verify(rig.kv());
+            if (!err.empty())
+                fail(k, strprintf("crash-free case: %s", err.c_str()));
+            continue;
+        }
+        quiet = 0;
+        res.crashes++;
+        try {
+            rig.crashAndRecover(cfg.tear, cfg.seed * 1000003 + k,
+                                paramsFor(cfg.seed ^ (k << 20)),
+                                cfg.faults.duringRecoveryRounds);
+        } catch (const PanicError& e) {
+            fail(k, strprintf("recovery panicked: %s", e.what()));
+            break;
+        } catch (const FatalError& e) {
+            fail(k, strprintf("recovery failed: %s", e.what()));
+            break;
+        }
+        // Declared or not, quarantined blocks must never resurface in
+        // the allocator's free map.
+        if (rig.heap().quarantineViolation()) {
+            fail(k, "quarantined block resurfaced in the free map");
+            break;
+        }
+        const txn::RecoveryReport& rep = rig.lastReport();
+        if (rep.salvageAborted == 0) {
+            // Recovery claims full repair — the full oracle binds,
+            // exactly as in the plain crash sweeps. A protocol that
+            // cannot detect media damage (nolog) always lands here,
+            // and honestly fails.
+            res.strictAudits++;
+            bool committed = false;
+            std::string err = resolveInterrupted(
+                rig.kv(), rig.shadow(), isInsert, key, val, &committed);
+            if (err.empty()) {
+                if (committed) {
+                    if (isInsert)
+                        rig.shadow().noteInsert(key, val);
+                    else
+                        rig.shadow().noteRemove(key);
+                }
+                err = rig.shadow().verify(rig.kv());
+            }
+            if (!err.empty()) {
+                fail(k, strprintf("strict audit (no salvage "
+                                  "declared): %s",
+                                  err.c_str()));
+                break;
+            }
+        } else {
+            // Damage was detected and declared: the abandoned
+            // transaction's effects are undefined (clobber cannot
+            // un-write blind stores it could not restore), so per-key
+            // state may legitimately disagree with the shadow. What
+            // must still hold was checked above (quarantine
+            // integrity) and below: probing must never crash the
+            // recovered process. Everything else is counted as
+            // declared collateral, not failure.
+            res.relaxedAudits++;
+            res.salvageAborts += rep.salvageAborted;
+            for (const auto& [sk, sv] : rig.shadow().entries()) {
+                try {
+                    ds::LookupResult r;
+                    bool found = rig.kv().lookup(sk, &r);
+                    if (!found || r.str() != sv)
+                        res.collateralKeys++;
+                } catch (const PanicError&) {
+                    res.collateralKeys++;
+                } catch (const FatalError&) {
+                    res.collateralKeys++;
+                }
+            }
+            try {
+                std::string sk = strprintf(
+                    "s%07llu", static_cast<unsigned long long>(k));
+                std::string sv = valueFor(sk, cfg.seed, 20);
+                rig.kv().insert(sk, sv);
+                ds::LookupResult r;
+                if (!rig.kv().lookup(sk, &r) || r.str() != sv)
+                    res.collateralKeys++;
+            } catch (const PanicError&) {
+                res.collateralKeys++;
+            } catch (const FatalError&) {
+                res.collateralKeys++;
+            }
+        }
+    }
+    return res;
+}
+
 namespace {
 
 /** Oracle mismatch detected while a fuzz history is executing. */
@@ -493,6 +747,12 @@ runFuzzCase(txn::RuntimeKind kind, const std::string& structure,
 {
     CaseResult res;
     TortureRig rig(kind, structure);
+    if (cfg.faults.enabled) {
+        FaultSpec fs = cfg.faults;
+        fs.seed = cfg.faults.seed * 0x9e3779b97f4a7c15ULL +
+                  c.seed * 131 + c.crashAt;
+        rig.enableFaults(fs);
+    }
     unsigned threads = std::min(std::max(cfg.threads, 1u),
                                 rig.pool().maxThreads());
     auto sched = buildSchedule(c, cfg, threads);
@@ -563,12 +823,34 @@ runFuzzCase(txn::RuntimeKind kind, const std::string& structure,
         try {
             rig.crashAndRecover(cfg.tear,
                                 c.seed ^ (c.crashAt * 2654435761ULL),
-                                paramsFor(c.seed + c.crashAt));
+                                paramsFor(c.seed + c.crashAt),
+                                cfg.faults.enabled
+                                    ? cfg.faults.duringRecoveryRounds
+                                    : 0);
         } catch (const PanicError& e) {
             res.failure = strprintf("recovery panicked: %s", e.what());
             return res;
         } catch (const FatalError& e) {
             res.failure = strprintf("recovery failed: %s", e.what());
+            return res;
+        }
+        if (rig.lastReport().salvageAborted > 0) {
+            // Damage was detected and declared: the shadow oracle no
+            // longer binds for this history. Audit what must still
+            // hold — quarantine integrity and a usable structure —
+            // and end the case here; the declaration is the contract.
+            if (rig.heap().quarantineViolation()) {
+                res.failure =
+                    "quarantined block resurfaced in the free map";
+                return res;
+            }
+            try {
+                ds::LookupResult r;
+                (void)rig.kv().lookup("k00000", &r);
+            } catch (const PanicError&) {
+                // tolerated: collateral of the declared abort
+            } catch (const FatalError&) {
+            }
             return res;
         }
         if (op != nullptr && op->type != FuzzOp::lookup) {

@@ -50,6 +50,26 @@ enum class Tear {
 const char* tearName(Tear t);
 
 /**
+ * Media-fault campaign axis layered on the crash sweeps: every tear
+ * additionally lands `bitFlips` flipped bits, `poisons` poisoned
+ * lines and `transients` transiently-failing lines in the selected
+ * regions (deterministic from `seed`). With `duringRecoveryRounds`
+ * > 0, recovery itself is crash-armed and re-torn that many times —
+ * each re-tear injecting another fault round — before the final
+ * uninterrupted recovery.
+ */
+struct FaultSpec {
+    bool enabled = false;
+    uint32_t bitFlips = 1;
+    uint32_t poisons = 1;
+    uint32_t transients = 1;
+    uint32_t regionMask =
+        nvm::kFaultDesc | nvm::kFaultLog | nvm::kFaultAllocMeta;
+    int duringRecoveryRounds = 0;
+    uint64_t seed = 1;
+};
+
+/**
  * One self-contained torture target: an anonymous pool with its heap,
  * runtime, engine, structure, scheduler and oracle. Everything the
  * drivers need to crash, recover and audit.
@@ -63,9 +83,25 @@ class TortureRig {
     txn::RuntimeKind kind() const { return kind_; }
     const std::string& structureName() const { return structName_; }
 
-    /** Tear the torn image and run recovery (throws on re-crash). */
+    /**
+     * Attach a seeded fault model to the pool and refine its region
+     * map with the runtime/allocator layouts. Injection rounds then
+     * fire inside every simulated tear.
+     */
+    void enableFaults(const FaultSpec& spec);
+
+    /**
+     * Tear the image (injecting a fault round when faults are
+     * enabled) and run recovery, capturing lastReport(). With
+     * recoveryRetears > 0, recovery is crash-armed and re-torn up to
+     * that many times first (each re-tear another injection round).
+     */
     void crashAndRecover(Tear tear, uint64_t seed,
-                         const nvm::CrashParams& params);
+                         const nvm::CrashParams& params,
+                         int recoveryRetears = 0);
+
+    /** The report of the most recent crashAndRecover(). */
+    const txn::RecoveryReport& lastReport() const { return lastReport_; }
 
     nvm::Pool& pool() { return *pool_; }
     alloc::PmAllocator& heap() { return *heap_; }
@@ -89,6 +125,7 @@ class TortureRig {
     std::unique_ptr<CrashScheduler> sched_;
     ShadowOracle shadow_;
     size_t baselineFree_ = 0;
+    txn::RecoveryReport lastReport_;
 };
 
 struct SweepConfig {
@@ -127,6 +164,57 @@ SweepResult exhaustiveSweep(txn::RuntimeKind kind,
                             const std::string& structure,
                             const SweepConfig& cfg = SweepConfig{});
 
+struct MediaSweepConfig {
+    Tear tear = Tear::allLost;
+    uint64_t seed = 1;
+    /** Fault round landed by every tear (enabled forced on). */
+    FaultSpec faults{};
+    /** Crash-free armed cases in a row that end the sweep. */
+    int quietRuns = 2;
+    /** First swept event index (cases are independent — a fresh rig
+     *  per index — so a single failing case replays exactly with
+     *  startIndex = failingIndex, budget = 1). */
+    uint64_t startIndex = 1;
+    /** Safety cap on the swept event index. */
+    uint64_t maxIndex = 4000;
+    /** Committed keys present before the armed op. */
+    int baselineKeys = 4;
+    /** Armed-case cap; 0 = unlimited (run to quiescence). */
+    uint64_t budget = 0;
+    /** Pool size per case (each case is a fresh rig). */
+    size_t poolBytes = 8ULL << 20;
+};
+
+struct MediaSweepResult {
+    bool passed = true;
+    bool truncated = false;
+    uint64_t cases = 0;          ///< armed cases executed
+    uint64_t crashes = 0;        ///< traps that fired
+    uint64_t salvageAborts = 0;  ///< slots declared aborted, summed
+    uint64_t strictAudits = 0;   ///< clean recoveries, full oracle
+    uint64_t relaxedAudits = 0;  ///< declared-salvage recoveries
+    uint64_t collateralKeys = 0; ///< keys lost under declared salvage
+    uint64_t failingIndex = 0;   ///< event index of first failure
+    std::string failure;         ///< first violation (empty if none)
+    std::string summary(txn::RuntimeKind kind,
+                        const std::string& structure) const;
+};
+
+/**
+ * Crash × media-fault sweep: for event index k = 1, 2, ... run a
+ * fresh rig with a seeded fault model, arm the k-th event of one
+ * mutating op, tear + inject + recover, then audit. The shadow-oracle
+ * audit is strict unless the RecoveryReport *declared* salvage aborts
+ * for this case — detected damage relaxes the audit to structure
+ * usability + quarantine integrity; undetected damage still fails.
+ * A protocol that cannot detect media damage (nolog) therefore fails
+ * this sweep, which is the honesty check on the relaxation.
+ */
+MediaSweepResult mediaFaultSweep(txn::RuntimeKind kind,
+                                 const std::string& structure,
+                                 const MediaSweepConfig& cfg =
+                                     MediaSweepConfig{});
+
 /** A replayable fuzz case: fully determined by these three numbers
  *  (plus the FuzzConfig shape parameters). crashAt = 0: no crash. */
 struct FuzzCase {
@@ -143,6 +231,10 @@ struct FuzzConfig {
     uint64_t budget = 4000;  ///< total ops across all cases
     uint64_t baseSeed = 1;
     bool shrink = true;
+    /** Optional media-fault round per tear. A case whose recovery
+     *  declares salvage aborts ends early (usability-probed, not
+     *  oracle-verified) — the declaration is the contract. */
+    FaultSpec faults{};
 };
 
 /** Outcome of one fuzz case replay. */

@@ -39,6 +39,18 @@ struct Engine {
     Runtime& rt;
     CommitObserver* commitObserver = nullptr;
 
+    /** Result of the most recent recover() issued through this engine
+     *  (default-constructed until one runs). */
+    RecoveryReport lastRecovery;
+
+    /** Run recovery and keep its report in lastRecovery. */
+    RecoveryReport
+    recover()
+    {
+        lastRecovery = rt.recover();
+        return lastRecovery;
+    }
+
     unsigned tid() const { return currentTid(); }
 };
 

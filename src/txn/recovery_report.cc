@@ -1,0 +1,61 @@
+#include "txn/recovery_report.h"
+
+#include "common/error.h"
+
+namespace cnvm::txn {
+
+const char*
+slotActionName(SlotAction a)
+{
+    switch (a) {
+        case SlotAction::none: return "none";
+        case SlotAction::rolledBack: return "rolled-back";
+        case SlotAction::rolledForward: return "rolled-forward";
+        case SlotAction::reexecuted: return "re-executed";
+        case SlotAction::intentsCompleted: return "intents-completed";
+        case SlotAction::intentsReverted: return "intents-reverted";
+        case SlotAction::salvageAborted: return "salvage-aborted";
+    }
+    return "?";
+}
+
+void
+RecoveryReport::add(SlotRecovery s)
+{
+    logEntriesApplied += s.entriesApplied;
+    logEntriesDropped += s.entriesDropped;
+    if (s.action == SlotAction::salvageAborted)
+        salvageAborted++;
+    slots.push_back(std::move(s));
+}
+
+std::string
+RecoveryReport::toString() const
+{
+    std::string out = strprintf(
+        "recovery: %llu slots scanned, %llu entries applied, "
+        "%llu dropped, %llu salvage-aborted\n"
+        "  media: %llu poisoned reads, %llu transient retries, "
+        "%llu intent tables lost\n"
+        "  quarantine: %llu blocks (%llu bytes)\n",
+        static_cast<unsigned long long>(slotsScanned),
+        static_cast<unsigned long long>(logEntriesApplied),
+        static_cast<unsigned long long>(logEntriesDropped),
+        static_cast<unsigned long long>(salvageAborted),
+        static_cast<unsigned long long>(poisonedReads),
+        static_cast<unsigned long long>(transientRetries),
+        static_cast<unsigned long long>(intentTablesLost),
+        static_cast<unsigned long long>(quarantinedBlocks),
+        static_cast<unsigned long long>(quarantinedBytes));
+    for (const SlotRecovery& s : slots) {
+        out += strprintf("  slot %u: %s, %llu applied, %llu dropped%s%s\n",
+                         s.tid, slotActionName(s.action),
+                         static_cast<unsigned long long>(s.entriesApplied),
+                         static_cast<unsigned long long>(s.entriesDropped),
+                         s.note.empty() ? "" : " -- ",
+                         s.note.c_str());
+    }
+    return out;
+}
+
+}  // namespace cnvm::txn

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <span>
 
+#include "txn/recovery_report.h"
+
 namespace cnvm::alloc {
 class PmAllocator;
 }
@@ -96,8 +98,13 @@ class Runtime {
     /**
      * Repair the pool after a crash: roll back or re-execute every
      * interrupted transaction, then rebuild volatile allocator state.
+     * Corrupt media is salvaged, not aborted on: damaged log entries
+     * are dropped with protocol-correct semantics and poisoned
+     * allocator blocks quarantined. The returned report records every
+     * salvage action (all existing callers may ignore it; a clean
+     * crash on healthy media yields a report with clean() == true).
      */
-    virtual void recover() = 0;
+    virtual RecoveryReport recover() = 0;
 
     /**
      * True while recover() is re-executing an interrupted txfunc

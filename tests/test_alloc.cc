@@ -1,10 +1,13 @@
 /** @file Unit tests for the persistent allocator. */
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstring>
 #include <set>
 
 #include "alloc/pm_allocator.h"
 #include "common/error.h"
+#include "nvm/fault_model.h"
 #include "nvm/pool.h"
 
 namespace cnvm::alloc {
@@ -141,6 +144,119 @@ TEST_F(AllocTest, ReattachFindsExistingHeap)
     EXPECT_EQ(again.payloadSize(a), 512u);
     uint64_t b = again.reserve(512);
     EXPECT_NE(a, b);
+}
+
+TEST_F(AllocTest, CorruptBlockHeaderThrowsInsteadOfAborting)
+{
+    // Satellite regression: a hand-corrupted block header used to hit
+    // CNVM_CHECK and terminate the process; it must now surface as a
+    // typed, catchable error.
+    uint64_t a = heap->reserve(256);
+    heap->persistAllocate(a);
+    pool->fence();
+    BlockHeader bad{};
+    bad.payloadBytes = 256;
+    bad.check = 0xdeadbeef;  // wrong: != payloadBytes ^ kBlockMagic
+    std::memcpy(pool->base() + a - sizeof(BlockHeader), &bad,
+                sizeof(bad));
+    EXPECT_THROW(heap->payloadSize(a), CorruptBlockError);
+    EXPECT_THROW(heap->persistFree(a), CorruptBlockError);
+    try {
+        heap->payloadSize(a);
+    } catch (const CorruptBlockError& e) {
+        EXPECT_EQ(e.payloadOff(), a);
+    }
+    // The sized overload trusts the caller's intent table and still
+    // frees the block without consulting the bad header.
+    heap->persistFree(a, 256);
+    pool->fence();
+}
+
+TEST_F(AllocTest, QuarantinePersistsAcrossReattach)
+{
+    uint64_t a = heap->reserve(4096);
+    heap->persistAllocate(a);
+    pool->fence();
+    size_t freeBefore = heap->freeBytes();
+    heap->quarantine(a - sizeof(BlockHeader),
+                     4096 + sizeof(BlockHeader), kQuarPoisonedData);
+    EXPECT_TRUE(heap->isQuarantined(a, 1));
+    EXPECT_FALSE(heap->quarantineViolation());
+
+    // A fresh allocator over the same pool must reload the table and
+    // keep the range out of the free map.
+    PmAllocator again(*pool);
+    EXPECT_TRUE(again.isQuarantined(a, 1));
+    EXPECT_EQ(again.quarantineCount(), 1u);
+    EXPECT_FALSE(again.quarantineViolation());
+    // The quarantined bytes never resurface: everything allocatable
+    // can be drawn down without ever overlapping the range.
+    EXPECT_LE(again.freeBytes(), freeBefore);
+    for (int i = 0; i < 64; i++) {
+        uint64_t b = again.reserve(512);
+        EXPECT_TRUE(b + 512 <= a - sizeof(BlockHeader) ||
+                    b >= a + 4096);
+        again.persistAllocate(b);
+    }
+    pool->fence();
+}
+
+TEST_F(AllocTest, QuarantineIsIdempotentForCoveredRanges)
+{
+    uint64_t a = heap->reserve(1024);
+    heap->persistAllocate(a);
+    pool->fence();
+    heap->quarantine(a - sizeof(BlockHeader), 1024, kQuarCorruptHeader);
+    uint32_t n = heap->quarantineCount();
+    heap->quarantine(a - sizeof(BlockHeader), 1024, kQuarCorruptHeader);
+    EXPECT_EQ(heap->quarantineCount(), n);
+}
+
+TEST_F(AllocTest, PoisonedBitmapChunkIsQuarantinedOnRebuild)
+{
+    uint64_t a = heap->reserve(256);
+    heap->persistAllocate(a);
+    pool->fence();
+    nvm::FaultConfig fc;
+    fc.poisons = 1;
+    pool->setFaultModel(std::make_unique<nvm::FaultModel>(fc));
+    // Poison the first line of the bitmap: rebuild must not trust the
+    // chunk — it rewrites it all-allocated and quarantines the
+    // granules that chunk administers.
+    pool->faults()->poisonAt(heap->bitmapOff());
+    RebuildStats st = heap->rebuild();
+    EXPECT_GT(st.poisonedChunks, 0u);
+    EXPECT_GT(st.quarantinedBlocks, 0u);
+    EXPECT_GT(st.quarantinedBytes, 0u);
+    EXPECT_FALSE(heap->quarantineViolation());
+    // The healing rewrite cleared the poison, so the next rebuild is
+    // clean and the quarantined range stays out of the free map.
+    RebuildStats st2 = heap->rebuild();
+    EXPECT_EQ(st2.poisonedChunks, 0u);
+    EXPECT_FALSE(heap->quarantineViolation());
+}
+
+TEST_F(AllocTest, FlippedAllocHeaderIsHealedOnRebuild)
+{
+    uint64_t a = heap->reserve(256);
+    heap->persistAllocate(a);
+    pool->fence();
+    uint64_t dataOff = heap->dataOff();
+    nvm::FaultConfig fc;
+    fc.bitFlips = 1;
+    pool->setFaultModel(std::make_unique<nvm::FaultModel>(fc));
+    // Flip a bit inside the AllocHeader's dataOff field: the layout is
+    // a pure function of pool geometry, so rebuild recomputes it.
+    pool->faults()->flipBit(*pool,
+                            pool->heapOff() +
+                                offsetof(AllocHeader, dataOff),
+                            5);
+    RebuildStats st = heap->rebuild();
+    EXPECT_TRUE(st.headerHealed);
+    EXPECT_EQ(heap->dataOff(), dataOff);
+    EXPECT_EQ(heap->payloadSize(a), 256u);
+    // Healed in place: the next rebuild sees a pristine header.
+    EXPECT_FALSE(heap->rebuild().headerHealed);
 }
 
 }  // namespace

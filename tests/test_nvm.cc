@@ -1,6 +1,7 @@
 /** @file Unit tests for the pool, cache model, and persistent pointers. */
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -314,6 +315,221 @@ TEST(PoolErrors, WriteOutsidePoolIsCaught)
     auto p = makePool();
     uint64_t v = 1;
     EXPECT_THROW(p->write(&v, &v, sizeof(v)), PanicError);
+}
+
+/** Create a file-backed pool at `path` and release it. */
+void
+makePoolFile(const std::string& path, size_t size = 8 << 20)
+{
+    PoolConfig cfg;
+    cfg.path = path;
+    cfg.size = size;
+    cfg.maxThreads = 4;
+    cfg.slotBytes = 64 << 10;
+    auto p = Pool::create(cfg);
+    if (Pool::current() == p.get())
+        Pool::setCurrent(nullptr);
+}
+
+/** Overwrite `n` bytes at `off` of the pool file. */
+void
+patchFile(const std::string& path, long off, const void* bytes,
+          size_t n)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, off, SEEK_SET);
+    std::fwrite(bytes, 1, n, f);
+    std::fclose(f);
+}
+
+PoolOpenError::Reason
+openReason(const std::string& path)
+{
+    try {
+        Pool::open(path);
+    } catch (const PoolOpenError& e) {
+        return e.reason();
+    }
+    ADD_FAILURE() << "open of " << path << " did not throw";
+    return PoolOpenError::Reason::io;
+}
+
+TEST(PoolErrors, TypedReasonMissingFile)
+{
+    EXPECT_EQ(openReason("/tmp/cnvm_does_not_exist.pool"),
+              PoolOpenError::Reason::io);
+}
+
+TEST(PoolErrors, TypedReasonTruncatedFile)
+{
+    std::string path = "/tmp/cnvm_truncated.pool";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fwrite("tiny", 1, 4, f);
+    std::fclose(f);
+    EXPECT_EQ(openReason(path), PoolOpenError::Reason::truncated);
+    ::unlink(path.c_str());
+}
+
+TEST(PoolErrors, TypedReasonBadMagic)
+{
+    std::string path = "/tmp/cnvm_badmagic.pool";
+    makePoolFile(path);
+    uint64_t junk = 0x4141414141414141ULL;
+    patchFile(path, 0, &junk, sizeof(junk));
+    EXPECT_EQ(openReason(path), PoolOpenError::Reason::badMagic);
+    ::unlink(path.c_str());
+}
+
+TEST(PoolErrors, TypedReasonBadVersion)
+{
+    std::string path = "/tmp/cnvm_badversion.pool";
+    makePoolFile(path);
+    uint64_t futureVersion = Pool::kVersion + 7;
+    patchFile(path, offsetof(PoolHeader, version), &futureVersion,
+              sizeof(futureVersion));
+    EXPECT_EQ(openReason(path), PoolOpenError::Reason::badVersion);
+    ::unlink(path.c_str());
+}
+
+TEST(PoolErrors, TypedReasonSizeMismatchOnReopen)
+{
+    std::string path = "/tmp/cnvm_sizemismatch.pool";
+    makePoolFile(path);
+    // Simulate a wrong-size reopen: the file grew behind our back.
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    char zero = 0;
+    std::fwrite(&zero, 1, 1, f);
+    std::fclose(f);
+    EXPECT_EQ(openReason(path), PoolOpenError::Reason::sizeMismatch);
+    ::unlink(path.c_str());
+}
+
+TEST(PoolErrors, TypedReasonCorruptHeaderOffsets)
+{
+    std::string path = "/tmp/cnvm_corrupthdr.pool";
+    makePoolFile(path);
+    uint64_t insane = ~0ULL;
+    patchFile(path, offsetof(PoolHeader, heapOff), &insane,
+              sizeof(insane));
+    EXPECT_EQ(openReason(path), PoolOpenError::Reason::corruptHeader);
+    ::unlink(path.c_str());
+}
+
+TEST(PoolErrors, CleanReopenStillWorks)
+{
+    std::string path = "/tmp/cnvm_cleanreopen.pool";
+    makePoolFile(path);
+    auto p = Pool::open(path);
+    EXPECT_EQ(p->header().magic, Pool::kMagic);
+    if (Pool::current() == p.get())
+        Pool::setCurrent(nullptr);
+    p.reset();
+    ::unlink(path.c_str());
+}
+
+TEST(FaultModel, InjectionIsDeterministicFromSeed)
+{
+    auto run = [](uint64_t seed) {
+        auto p = makePool();
+        FaultConfig fc;
+        fc.seed = seed;
+        fc.bitFlips = 4;
+        fc.poisons = 2;
+        fc.transients = 2;
+        fc.regionMask = kFaultAllRegions;
+        p->setFaultModel(std::make_unique<FaultModel>(fc));
+        p->faults()->inject(*p);
+        return p->faults()->taintedLines();
+    };
+    EXPECT_EQ(run(42), run(42));
+    EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultModel, PoisonedLineRaisesOnGuardedReadOnly)
+{
+    auto p = makePool();
+    FaultConfig fc;
+    fc.poisons = 1;
+    p->setFaultModel(std::make_unique<FaultModel>(fc));
+    uint64_t off = p->heapOff() + 256;
+    p->faults()->poisonAt(off);
+    // Unguarded access to the mapped bytes stays a plain load — only
+    // the guarded (recovery-path) read observes the machine check.
+    volatile uint8_t sink = *(p->base() + off);
+    (void)sink;
+    EXPECT_THROW(p->checkRead(p->at(off), 8), MediaFaultError);
+    EXPECT_TRUE(p->faults()->poisoned(off, 1));
+}
+
+TEST(FaultModel, WriteClearsPoisonAndTaint)
+{
+    auto p = makePool();
+    FaultConfig fc;
+    fc.poisons = 1;
+    p->setFaultModel(std::make_unique<FaultModel>(fc));
+    uint64_t off = p->heapOff() + 512;
+    p->faults()->poisonAt(off);
+    p->faults()->flipBit(*p, off + 64, 3);
+    EXPECT_TRUE(p->faults()->poisoned(off, 1));
+    EXPECT_TRUE(p->faults()->tainted(off + 64, 1));
+    uint8_t fresh[128] = {};
+    p->write(p->at(off), fresh, sizeof(fresh));
+    EXPECT_FALSE(p->faults()->poisoned(off, 1));
+    EXPECT_FALSE(p->faults()->tainted(off + 64, 1));
+    p->checkRead(p->at(off), 128);  // must not throw
+}
+
+TEST(FaultModel, TransientFaultSucceedsWithinRetryBudget)
+{
+    auto p = makePool();
+    FaultConfig fc;
+    fc.maxRetries = 4;
+    p->setFaultModel(std::make_unique<FaultModel>(fc));
+    uint64_t off = p->heapOff() + 1024;
+    p->faults()->poisonAt(off, /* transientCount */ 2);
+    // Two failing reads are absorbed by the retry loop.
+    p->checkRead(p->at(off), 8);
+    EXPECT_GE(p->faults()->retries(), 2u);
+    // Retries cleared the transient; later reads are clean.
+    p->checkRead(p->at(off), 8);
+}
+
+TEST(FaultModel, TransientFaultExhaustsRetryBudget)
+{
+    auto p = makePool();
+    FaultConfig fc;
+    fc.maxRetries = 2;
+    p->setFaultModel(std::make_unique<FaultModel>(fc));
+    uint64_t off = p->heapOff() + 2048;
+    p->faults()->poisonAt(off, /* transientCount */ 100);
+    try {
+        p->checkRead(p->at(off), 8);
+        FAIL() << "retry exhaustion did not raise";
+    } catch (const MediaFaultError& e) {
+        EXPECT_TRUE(e.transient());
+        EXPECT_EQ(e.off() / 64, off / 64);
+    }
+}
+
+TEST(FaultModel, RegionTargetingRespectsTheMask)
+{
+    auto p = makePool();
+    FaultConfig fc;
+    fc.seed = 9;
+    fc.bitFlips = 16;
+    fc.regionMask = kFaultHeap;
+    p->setFaultModel(std::make_unique<FaultModel>(fc));
+    p->faults()->inject(*p);
+    // Every tainted line must fall inside the heap region.
+    for (uint64_t line : p->faults()->taintedLines()) {
+        uint64_t off = line * 64;
+        EXPECT_GE(off, p->heapOff());
+        EXPECT_LT(off, p->heapOff() + p->heapSize());
+    }
+    EXPECT_GT(p->faults()->flipsInjected(), 0u);
 }
 
 }  // namespace

@@ -133,6 +133,83 @@ TEST(TortureFuzz, ShrinkPreservesFailure)
     EXPECT_FALSE(res.failure.empty());
 }
 
+class MediaSweep : public ::testing::TestWithParam<RuntimeKind> {};
+
+/**
+ * Budgeted crash × media-fault sweep: bit flips, poisoned lines and
+ * transient faults land on every tear, and the shadow-oracle audit is
+ * relaxed only for cases whose RecoveryReport declared salvage.
+ */
+TEST_P(MediaSweep, BudgetedMediaSweepPasses)
+{
+    torture::MediaSweepConfig cfg;
+    cfg.seed = 7;
+    cfg.budget = 120;
+    cfg.faults.bitFlips = 1;
+    cfg.faults.poisons = 1;
+    cfg.faults.transients = 1;
+    auto res = torture::mediaFaultSweep(GetParam(), "list", cfg);
+    EXPECT_TRUE(res.passed) << res.failure;
+    EXPECT_GT(res.crashes, 0u);
+    EXPECT_GT(res.strictAudits + res.relaxedAudits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, MediaSweep,
+                         ::testing::Values(RuntimeKind::clobber,
+                                           RuntimeKind::undo,
+                                           RuntimeKind::redo,
+                                           RuntimeKind::atlas,
+                                           RuntimeKind::ido),
+                         [](const auto& info) {
+                             switch (info.param) {
+                               case RuntimeKind::clobber:
+                                 return "clobber";
+                               case RuntimeKind::undo:
+                                 return "pmdk";
+                               case RuntimeKind::redo:
+                                 return "mnemosyne";
+                               case RuntimeKind::atlas:
+                                 return "atlas";
+                               default:
+                                 return "ido";
+                             }
+                         });
+
+/**
+ * The honesty check on the audit relaxation: nolog never declares
+ * salvage (it has no recovery story at all), so every media case
+ * audits strictly and the sweep must catch it failing.
+ */
+TEST(MediaSweep, NologFailsMediaSweep)
+{
+    torture::MediaSweepConfig cfg;
+    cfg.seed = 3;
+    cfg.budget = 200;
+    auto res = torture::mediaFaultSweep(RuntimeKind::noLog, "list",
+                                        cfg);
+    EXPECT_FALSE(res.passed);
+    EXPECT_FALSE(res.failure.empty());
+}
+
+/**
+ * Faults during recovery: each tear's recovery is itself re-torn
+ * (with another injection round) before the final pass. Recovery must
+ * stay idempotent under damage, not just under torn writes.
+ */
+TEST(MediaSweep, RecoveryReTearsWithFaultsStaySound)
+{
+    for (RuntimeKind kind :
+         {RuntimeKind::clobber, RuntimeKind::undo, RuntimeKind::redo}) {
+        torture::MediaSweepConfig cfg;
+        cfg.seed = 11;
+        cfg.budget = 60;
+        cfg.faults.duringRecoveryRounds = 2;
+        auto res = torture::mediaFaultSweep(kind, "list", cfg);
+        EXPECT_TRUE(res.passed)
+            << static_cast<int>(kind) << ": " << res.failure;
+    }
+}
+
 class RecoveryIdempotence
     : public ::testing::TestWithParam<RuntimeKind> {};
 

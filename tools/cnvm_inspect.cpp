@@ -2,22 +2,31 @@
  * @file
  * cnvm_inspect: offline pool inspector.
  *
- * Prints a pool file's header, the state of every per-thread
- * transaction descriptor (status, sequence number, v_log payload,
- * intent table validity, pending log entries), and heap statistics —
- * without mutating anything. Useful for debugging recovery issues and
- * for verifying what survived a crash.
+ * Default mode prints a pool file's header, the state of every
+ * per-thread transaction descriptor (status, sequence number, v_log
+ * payload, intent table validity, pending log entries), and heap
+ * statistics — without mutating anything. Useful for debugging
+ * recovery issues and for verifying what survived a crash.
  *
- * Usage: cnvm_inspect <pool-file>
+ * `verify` mode walks the whole pool through the salvage scanner
+ * (rt::salvage::verifyPool): header bounds, per-slot descriptor and
+ * log checksums, allocator metadata, quarantine table and allocated
+ * block headers, printing every integrity violation it finds. Exit
+ * status: 0 clean, 1 problems found, 2 usage / unreadable pool.
+ *
+ * Usage:
+ *   cnvm_inspect <pool-file>
+ *   cnvm_inspect verify <pool-file>
  */
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "alloc/pm_allocator.h"
-#include "common/rand.h"
 #include "nvm/pool.h"
 #include "runtimes/descriptor.h"
+#include "runtimes/salvage.h"
 #include "txn/registry.h"
 
 using namespace cnvm;
@@ -35,80 +44,40 @@ statusName(uint64_t s)
     return "corrupt";
 }
 
-uint64_t
-beginChecksum(const rt::TxDescriptor& d)
-{
-    uint64_t sum = fnv1a(&d.txSeq, sizeof(d.txSeq));
-    sum ^= fnv1a(&d.fid, sizeof(d.fid));
-    sum ^= fnv1a(&d.argLen, sizeof(d.argLen));
-    if (d.argLen > 0 && d.argLen <= rt::kMaxArgBytes)
-        sum ^= fnv1a(d.args, d.argLen);
-    return sum == 0 ? 1 : sum;
-}
-
-uint64_t
-intentChecksum(const rt::TxDescriptor& d)
-{
-    uint64_t sum = fnv1a(&d.intentSeq, sizeof(d.intentSeq));
-    sum ^= fnv1a(&d.intentCount, sizeof(d.intentCount));
-    sum ^= fnv1a(d.intents, d.intentCount * sizeof(rt::AllocIntent));
-    return sum == 0 ? 1 : sum;
-}
-
-/** Count self-validating log entries for the descriptor's txSeq. */
-size_t
-countLogEntries(const nvm::Pool& pool, unsigned tid,
-                const rt::TxDescriptor& d, size_t* bytes)
-{
-    const auto* area = static_cast<const uint8_t*>(pool.slot(tid)) +
-                       rt::logAreaOffset();
-    size_t cap = pool.slotBytes() - rt::logAreaOffset();
-    size_t pos = 0;
-    size_t n = 0;
-    *bytes = 0;
-    auto seqLo = static_cast<uint32_t>(d.txSeq);
-    while (pos + sizeof(rt::LogEntryHeader) <= cap) {
-        rt::LogEntryHeader h;
-        std::memcpy(&h, area + pos, sizeof(h));
-        if (h.len == 0 || h.seqLo != seqLo)
-            break;
-        size_t need = sizeof(h) + (h.len + 7) / 8 * 8;
-        if (pos + need > cap)
-            break;
-        uint64_t sum = fnv1a(&h.targetOff, sizeof(h.targetOff));
-        sum ^= fnv1a(&h.len, sizeof(h.len));
-        sum ^= fnv1a(&h.seqLo, sizeof(h.seqLo));
-        sum ^= fnv1a(area + pos + sizeof(h), h.len);
-        if (sum == 0)
-            sum = 1;
-        if (sum != h.checksum)
-            break;
-        n++;
-        *bytes += h.len;
-        pos += need;
-    }
-    return n;
-}
-
-}  // namespace
-
 int
-main(int argc, char** argv)
+verifyMain(const char* path)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: %s <pool-file>\n", argv[0]);
-        return 2;
-    }
     std::unique_ptr<nvm::Pool> pool;
     try {
-        pool = nvm::Pool::open(argv[1]);
+        pool = nvm::Pool::open(path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    rt::salvage::VerifyResult r = rt::salvage::verifyPool(*pool);
+    for (const std::string& n : r.notes)
+        std::printf("note:    %s\n", n.c_str());
+    for (const std::string& p : r.problems)
+        std::printf("PROBLEM: %s\n", p.c_str());
+    std::printf("%s: %zu problem(s), %zu note(s)\n",
+                r.ok() ? "CLEAN" : "CORRUPT", r.problems.size(),
+                r.notes.size());
+    return r.ok() ? 0 : 1;
+}
+
+int
+inspectMain(const char* path)
+{
+    std::unique_ptr<nvm::Pool> pool;
+    try {
+        pool = nvm::Pool::open(path);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
 
     const auto& h = pool->header();
-    std::printf("pool %s\n", argv[1]);
+    std::printf("pool %s\n", path);
     std::printf("  size        %llu MiB\n",
                 static_cast<unsigned long long>(h.size >> 20));
     std::printf("  root        offset %llu%s\n",
@@ -131,23 +100,41 @@ main(int argc, char** argv)
             (d.intentCount > 0 && d.intentSeq == d.txSeq);
         if (!interesting && d.txSeq == 0)
             continue;  // slot never used
-        size_t logBytes = 0;
-        size_t entries = countLogEntries(*pool, tid, d, &logBytes);
+        // The media-aware scanner reports damaged stretches instead
+        // of silently truncating at the first bad entry.
+        const auto* area =
+            static_cast<const uint8_t*>(pool->slot(tid)) +
+            rt::logAreaOffset();
+        size_t cap = pool->slotBytes() - rt::logAreaOffset();
+        std::vector<rt::ScannedEntry> entries;
+        rt::salvage::ScanStats st;
+        rt::salvage::scanLogArea(nullptr, area, cap,
+                                 static_cast<uint32_t>(d.txSeq),
+                                 entries, &st);
         std::printf("slot %-2u %-10s seq=%llu", tid,
                     statusName(d.status),
                     static_cast<unsigned long long>(d.txSeq));
         if (d.status ==
             static_cast<uint64_t>(rt::TxStatus::ongoing)) {
             interrupted++;
-            bool valid = beginChecksum(d) == d.beginSum;
+            bool valid = rt::salvage::beginChecksum(d) == d.beginSum;
             std::printf(" begin=%s fid=0x%08x (%s) args=%uB",
                         valid ? "valid" : "TORN", d.fid,
                         txn::txFuncName(d.fid), d.argLen);
         }
-        std::printf(" log: %zu entries / %zu B", entries, logBytes);
+        std::printf(" log: %llu entries / %llu B",
+                    static_cast<unsigned long long>(st.entries),
+                    static_cast<unsigned long long>(st.payloadBytes));
+        if (st.damaged()) {
+            std::printf(" [DAMAGED: %llu entries dropped]",
+                        static_cast<unsigned long long>(
+                            st.droppedEntries));
+        }
         if (d.intentCount > 0 && d.intentSeq == d.txSeq) {
             bool ok = d.intentCount <= rt::kMaxIntents &&
-                      intentChecksum(d) == d.intentSum;
+                      rt::salvage::intentChecksum(
+                          d.intentSeq, d.intentCount, d.intents) ==
+                          d.intentSum;
             std::printf(" intents: %u (%s)", d.intentCount,
                         ok ? "valid" : "TORN");
         }
@@ -162,4 +149,20 @@ main(int argc, char** argv)
     std::printf("%u interrupted transaction(s)%s\n", interrupted,
                 interrupted > 0 ? " — run recovery before use" : "");
     return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc == 3 && std::strcmp(argv[1], "verify") == 0)
+        return verifyMain(argv[2]);
+    if (argc == 2 && std::strcmp(argv[1], "verify") != 0)
+        return inspectMain(argv[1]);
+    std::fprintf(stderr,
+                 "usage: %s <pool-file>\n"
+                 "       %s verify <pool-file>\n",
+                 argv[0], argv[0]);
+    return 2;
 }

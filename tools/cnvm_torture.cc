@@ -8,22 +8,29 @@
  *                index (store/clwb/sfence) until each sweep quiesces;
  *   random       seeded multi-thread fuzz histories crashed at random
  *                event indices with randomized torn-write survival,
- *                with greedy shrinking of any failing case.
+ *                with greedy shrinking of any failing case;
+ *   media        crash × media-fault sweep: every tear additionally
+ *                lands seeded bit flips / poisoned lines / transient
+ *                read faults, and the post-recovery audit is strict
+ *                unless the RecoveryReport declared salvage aborts.
  *
  * A failing run prints (and optionally writes via --report) the exact
- * --replay invocation that reproduces the minimized case, and exits
- * nonzero — this is what CI uploads on failure.
+ * reproduction invocation (--replay for fuzz cases, --index for media
+ * cases), and exits nonzero — this is what CI uploads on failure.
  *
  * Usage:
  *   cnvm_torture [--protocol NAME|all] [--structure NAME|all]
- *                [--mode exhaustive|random|both] [--seed N]
+ *                [--mode exhaustive|random|media|both] [--seed N]
  *                [--budget N] [--threads N] [--tear alllost|random]
- *                [--list-sites] [--report PATH]
+ *                [--fault FLIPS:POISONS:TRANSIENTS] [--fault-seed N]
+ *                [--fault-regions LIST] [--fault-recovery ROUNDS]
+ *                [--index N] [--list-sites] [--report PATH]
  *                [--replay SEED:NOPS:CRASHAT]
  *
  * --budget is a global operation budget divided evenly across the
  * selected matrix (0 = uncapped); the CI smoke tier uses a small
- * budget, the nightly tier runs uncapped.
+ * budget, the nightly tier runs uncapped. --fault also arms the random
+ * mode's tears; --index replays exactly one media case.
  */
 #include <cstdio>
 #include <cstring>
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "nvm/fault_model.h"
 #include "runtimes/factory.h"
 #include "testing/torture.h"
 
@@ -46,6 +54,9 @@ struct Options {
     uint64_t budget = 0;
     unsigned threads = 2;
     torture::Tear tear = torture::Tear::randomTear;
+    torture::FaultSpec faults;  ///< armed by --fault*, or mode media
+    uint64_t faultSeed = 0;     ///< 0 = use --seed
+    uint64_t index = 0;         ///< media: replay exactly this index
     bool listSites = false;
     std::string reportPath;
     bool haveReplay = false;
@@ -58,9 +69,11 @@ usage(const char* argv0)
     std::fprintf(
         stderr,
         "usage: %s [--protocol NAME|all] [--structure NAME|all]\n"
-        "          [--mode exhaustive|random|both] [--seed N]\n"
+        "          [--mode exhaustive|random|media|both] [--seed N]\n"
         "          [--budget N] [--threads N] [--tear alllost|random]\n"
-        "          [--list-sites] [--report PATH]\n"
+        "          [--fault FLIPS:POISONS:TRANSIENTS] [--fault-seed N]\n"
+        "          [--fault-regions LIST] [--fault-recovery ROUNDS]\n"
+        "          [--index N] [--list-sites] [--report PATH]\n"
         "          [--replay SEED:NOPS:CRASHAT]\n",
         argv0);
     std::exit(2);
@@ -84,8 +97,26 @@ parse(int argc, char** argv)
         } else if (a == "--mode") {
             o.mode = value(i);
             if (o.mode != "exhaustive" && o.mode != "random" &&
-                o.mode != "both")
+                o.mode != "media" && o.mode != "both")
                 usage(argv[0]);
+        } else if (a == "--fault") {
+            unsigned f = 0, p = 0, t = 0;
+            if (std::sscanf(value(i), "%u:%u:%u", &f, &p, &t) != 3)
+                usage(argv[0]);
+            o.faults.enabled = true;
+            o.faults.bitFlips = f;
+            o.faults.poisons = p;
+            o.faults.transients = t;
+        } else if (a == "--fault-seed") {
+            o.faultSeed = std::strtoull(value(i), nullptr, 0);
+        } else if (a == "--fault-regions") {
+            o.faults.regionMask = nvm::parseFaultRegions(value(i));
+            o.faults.enabled = true;
+        } else if (a == "--fault-recovery") {
+            o.faults.duringRecoveryRounds =
+                static_cast<int>(std::strtol(value(i), nullptr, 0));
+        } else if (a == "--index") {
+            o.index = std::strtoull(value(i), nullptr, 0);
         } else if (a == "--seed") {
             o.seed = std::strtoull(value(i), nullptr, 0);
         } else if (a == "--budget") {
@@ -196,6 +227,7 @@ main(int argc, char** argv)
         torture::FuzzConfig fc;
         fc.threads = o.threads;
         fc.tear = o.tear;
+        fc.faults = o.faults;
         torture::CaseResult r = torture::runFuzzCase(
             protocols[0], structures[0], o.replay, fc);
         emit(sink, strprintf(
@@ -219,15 +251,35 @@ main(int argc, char** argv)
                 listSites(kind, s, sink);
     } else {
         size_t combos = protocols.size() * structures.size();
-        bool doSweep = o.mode != "random";
-        bool doFuzz = o.mode != "exhaustive";
+        bool doMedia = o.mode == "media";
+        bool doSweep = !doMedia && o.mode != "random";
+        bool doFuzz = !doMedia && o.mode != "exhaustive";
         size_t shares = combos * ((doSweep ? 1 : 0) +
-                                  (doFuzz ? 1 : 0));
+                                  (doFuzz ? 1 : 0) +
+                                  (doMedia ? 1 : 0));
         uint64_t perShare =
             o.budget == 0 ? 0
                           : std::max<uint64_t>(o.budget / shares, 50);
         for (txn::RuntimeKind kind : protocols) {
             for (const std::string& s : structures) {
+                if (doMedia) {
+                    torture::MediaSweepConfig cfg;
+                    cfg.tear = o.tear;
+                    cfg.seed = o.faultSeed != 0 ? o.faultSeed : o.seed;
+                    cfg.faults = o.faults;
+                    cfg.faults.enabled = true;
+                    cfg.budget = perShare;
+                    if (o.index != 0) {
+                        // Cases are independent (fresh rig per index),
+                        // so one index replays exactly.
+                        cfg.startIndex = o.index;
+                        cfg.budget = 1;
+                    }
+                    torture::MediaSweepResult r =
+                        torture::mediaFaultSweep(kind, s, cfg);
+                    emit(sink, r.summary(kind, s) + "\n");
+                    failed = failed || !r.passed;
+                }
                 if (doSweep) {
                     torture::SweepConfig cfg;
                     cfg.tear = o.tear;
@@ -242,6 +294,7 @@ main(int argc, char** argv)
                     torture::FuzzConfig fc;
                     fc.threads = o.threads;
                     fc.tear = o.tear;
+                    fc.faults = o.faults;
                     fc.baseSeed = o.seed;
                     if (perShare != 0)
                         fc.budget = perShare;
