@@ -91,4 +91,154 @@ seededViolationFixtures()
     return out;
 }
 
+// ---------------------------------------------------------------
+// Interprocedural re-execution-safety fixtures.
+
+using cir::Effect;
+using cir::IrModule;
+
+IrModule
+buildNondetTxModule()
+{
+    IrModule m{"seed_nondet", {}};
+    // Helper: reads the cycle counter. Its own call is to an
+    // external symbol declared nondeterministic.
+    Function h("get_stamp");
+    int hb = h.addBlock("entry");
+    ValueId t =
+        cir::emitCall(h, hb, "rdtsc", Effect::nondet, {}, "rdtsc()");
+    cir::emitBinop(h, hb, t, "scale");
+    m.functions.push_back(h);
+
+    // Tx: stamps an NVM field. The call to get_stamp is declared
+    // pure — only the transitive summary exposes the nondeterminism.
+    Function f("seed_nondet_call");
+    int b = f.addBlock("entry");
+    ValueId p = cir::emitArg(f, b, "p");
+    ValueId s = cir::emitCall(f, b, "get_stamp", Effect::pure, {},
+                              "get_stamp()");
+    cir::emitLoad(f, b, p, "input read");
+    cir::emitClobberLog(f, b, p, "clobber_log p");
+    cir::emitStore(f, b, p, s, "p = stamp (clobber)");
+    cir::emitFlush(f, b, p, "flush p");
+    cir::emitFence(f, b, "commit fence");
+    m.functions.push_back(f);
+    return m;
+}
+
+IrModule
+buildIoTxModule()
+{
+    IrModule m{"seed_io", {}};
+    Function f("seed_io_call");
+    int b = f.addBlock("entry");
+    ValueId p = cir::emitArg(f, b, "p");
+    ValueId x = cir::emitLoad(f, b, p, "input read");
+    ValueId y = cir::emitBinop(f, b, x, "x+1");
+    cir::emitClobberLog(f, b, p, "clobber_log p");
+    cir::emitStore(f, b, p, y, "clobber");
+    cir::emitFlush(f, b, p, "flush p");
+    cir::emitCall(f, b, "log_write", Effect::io, {y},
+                  "log_write(y) — I/O in the FASE");
+    cir::emitFence(f, b, "commit fence");
+    m.functions.push_back(f);
+    return m;
+}
+
+IrModule
+buildVolatileEscapeModule()
+{
+    IrModule m{"seed_volatile", {}};
+    Function f("seed_volatile_escape");
+    int b = f.addBlock("entry");
+    ValueId p = cir::emitArg(f, b, "p");
+    ValueId buf = cir::emitAlloca(f, b, "buf");
+    ValueId x = cir::emitLoad(f, b, p, "input read");
+    cir::emitClobberLog(f, b, p, "clobber_log p");
+    cir::emitStore(f, b, p, buf, "p = &buf (publishes the slot)");
+    cir::emitFlush(f, b, p, "flush p");
+    cir::emitStore(f, b, buf, x, "buf = x (escaping volatile)");
+    cir::emitFence(f, b, "commit fence");
+    m.functions.push_back(f);
+    return m;
+}
+
+IrModule
+buildHiddenClobberModule()
+{
+    IrModule m{"seed_hidden", {}};
+    // Helper: flushes and fences like a good citizen, but never
+    // logs the old value it overwrites.
+    Function h("sum_bump_unlogged");
+    int hb = h.addBlock("entry");
+    ValueId q = cir::emitArg(h, hb, "q");
+    ValueId x = cir::emitLoad(h, hb, q, "old");
+    ValueId y = cir::emitBinop(h, hb, x, "old+1");
+    cir::emitStore(h, hb, q, y, "bump (clobber, never logged)");
+    cir::emitFlush(h, hb, q, "flush q");
+    cir::emitFence(h, hb, "helper fence");
+    m.functions.push_back(h);
+
+    // Tx: nothing but the call — the intraprocedural clobber pass
+    // sees no loads or stores here at all.
+    Function f("seed_hidden_clobber");
+    int b = f.addBlock("entry");
+    ValueId p = cir::emitArg(f, b, "p");
+    cir::emitCall(f, b, "sum_bump_unlogged", Effect::writesNVM, {p},
+                  "sum_bump_unlogged(p)");
+    m.functions.push_back(f);
+    return m;
+}
+
+IrModule
+buildReexecCleanModule()
+{
+    IrModule m{"seed_reexec_clean", {}};
+    // Self-logging helper (same discipline as the runtime corpus).
+    Function h("bump_logged");
+    int hb = h.addBlock("entry");
+    ValueId q = cir::emitArg(h, hb, "q");
+    ValueId x = cir::emitLoad(h, hb, q, "old");
+    ValueId y = cir::emitBinop(h, hb, x, "old+1");
+    cir::emitClobberLog(h, hb, q, "clobber_log q");
+    cir::emitStore(h, hb, q, y, "bump (clobber)");
+    cir::emitFlush(h, hb, q, "flush q");
+    cir::emitFence(h, hb, "helper fence");
+    m.functions.push_back(h);
+
+    Function f("seed_reexec_clean_tx");
+    int b = f.addBlock("entry");
+    ValueId p = cir::emitArg(f, b, "p");
+    ValueId tmp = cir::emitAlloca(f, b, "tmp");
+    ValueId v = cir::emitLoad(f, b, p, "input read");
+    cir::emitStore(f, b, tmp, v, "spill (private stack)");
+    ValueId w = cir::emitCall(f, b, "mix_pure", Effect::pure, {v},
+                              "mix_pure(v)");
+    cir::emitClobberLog(f, b, p, "clobber_log p");
+    cir::emitStore(f, b, p, w, "p = mixed (clobber)");
+    cir::emitFlush(f, b, p, "flush p");
+    ValueId cnt = cir::emitGep(f, b, p, 8, "p.count");
+    cir::emitCall(f, b, "bump_logged", Effect::writesNVM, {cnt},
+                  "bump_logged(p.count)");
+    cir::emitFence(f, b, "commit fence");
+    m.functions.push_back(f);
+    return m;
+}
+
+std::vector<SeededReexecFixture>
+seededReexecFixtures()
+{
+    std::vector<SeededReexecFixture> out;
+    out.push_back({buildNondetTxModule(), "seed_nondet_call",
+                   CheckKind::nondetInTx});
+    out.push_back(
+        {buildIoTxModule(), "seed_io_call", CheckKind::ioInTx});
+    out.push_back({buildVolatileEscapeModule(),
+                   "seed_volatile_escape",
+                   CheckKind::volatileEscape});
+    out.push_back({buildHiddenClobberModule(), "seed_hidden_clobber",
+                   CheckKind::hiddenClobber});
+    return out;
+}
+
 }  // namespace cnvm::analysis

@@ -11,9 +11,11 @@
 #ifndef CNVM_ANALYSIS_FIXTURES_H
 #define CNVM_ANALYSIS_FIXTURES_H
 
+#include <string>
 #include <vector>
 
 #include "analysis/persist_check.h"
+#include "cir/builders.h"
 #include "cir/ir.h"
 
 namespace cnvm::analysis {
@@ -40,6 +42,41 @@ struct SeededFixture {
 
 /** The four violation fixtures with their expected findings. */
 std::vector<SeededFixture> seededViolationFixtures();
+
+// ---------------------------------------------------------------
+// Interprocedural re-execution-safety fixtures. Each module holds a
+// transaction function (plus helpers) that is correctly
+// instrumented except for exactly one replay-soundness bug, so the
+// reexec verifier must flag that bug and nothing else at error
+// severity.
+
+/** Tx reaches a nondeterministic op through a helper whose call is
+    (wrongly) declared pure — only the summary fixpoint sees it. */
+cir::IrModule buildNondetTxModule();
+
+/** Tx performs I/O inside the FASE via an external callee. */
+cir::IrModule buildIoTxModule();
+
+/** Tx publishes a stack slot's address to NVM and then stores to
+    it: an escaping volatile store a replay would double-apply. */
+cir::IrModule buildVolatileEscapeModule();
+
+/** Tx calls a helper that clobbers its argument without logging —
+    the hidden clobber the intraprocedural pass provably misses. */
+cir::IrModule buildHiddenClobberModule();
+
+/** Call-structured but fully safe: logged helper RMW, pure call,
+    private stack scratch. The verifier must stay silent. */
+cir::IrModule buildReexecCleanModule();
+
+struct SeededReexecFixture {
+    cir::IrModule mod;       ///< tx function + helpers
+    std::string txFunction;  ///< entry function to verify
+    CheckKind expected;
+};
+
+/** The four reexec violation modules with expected findings. */
+std::vector<SeededReexecFixture> seededReexecFixtures();
 
 }  // namespace cnvm::analysis
 

@@ -34,6 +34,10 @@ checkKindName(CheckKind k)
       case CheckKind::unloggedClobber: return "unlogged-clobber";
       case CheckKind::unneededClobberLog:
         return "unneeded-clobber-log";
+      case CheckKind::nondetInTx: return "nondet-in-tx";
+      case CheckKind::ioInTx: return "io-in-tx";
+      case CheckKind::volatileEscape: return "volatile-escape";
+      case CheckKind::hiddenClobber: return "hidden-clobber";
     }
     return "?";
 }
@@ -74,8 +78,11 @@ PersistReport::summary(const Function& f) const
     std::ostringstream os;
     os << f.name() << ": " << storesChecked << " stores, "
        << flushesChecked << " flushes, " << clobberSitesChecked
-       << " clobber sites checked — " << count(Severity::error)
-       << " errors, " << count(Severity::warning) << " warnings, "
+       << " clobber sites";
+    if (callsChecked > 0)
+        os << ", " << callsChecked << " calls";
+    os << " checked — " << count(Severity::error) << " errors, "
+       << count(Severity::warning) << " warnings, "
        << count(Severity::info) << " info";
     return os.str();
 }
@@ -87,143 +94,311 @@ PersistReport::toString(const Function& f) const
     os << summary(f) << "\n";
     for (const auto& v : violations) {
         os << "  [" << severityName(v.severity) << "] "
-           << checkKindName(v.kind) << " at b" << v.at.block << ":i"
-           << v.at.index;
-        const std::string& nm = f.at(v.at).name;
-        if (!nm.empty())
-            os << " '" << nm << "'";
+           << checkKindName(v.kind);
+        // Call-derived findings name the callee: a bare instruction
+        // index is unreadable once findings cross functions.
+        const Instr& in = f.at(v.at);
+        std::string callee =
+            !v.callee.empty()
+                ? v.callee
+                : (in.op == Op::call ? in.callee : std::string());
+        if (!callee.empty()) {
+            os << " at call '" << callee << "' (b" << v.at.block
+               << ":i" << v.at.index << ")";
+        } else {
+            os << " at b" << v.at.block << ":i" << v.at.index;
+        }
+        if (!in.name.empty() && callee.empty())
+            os << " '" << in.name << "'";
         if (!v.detail.empty())
             os << " — " << v.detail;
+        if (!v.hint.empty())
+            os << "; fix: " << v.hint;
         os << "\n";
     }
     return os.str();
 }
 
+namespace {
+
+/** One audited event: a real instruction, or a call standing in for
+    what its callee does through one pointer argument. */
+struct AuditPoint {
+    InstrRef at;
+    cir::ValueId ptr = cir::kNoValue;
+    bool fromCall = false;
+    /** Stores: the callee flushes what it writes through this arg.
+        Flushes: the callee also fences on exit. */
+    bool coveredByCallee = false;
+    std::string callee;
+};
+
+Violation
+makeViolation(CheckKind kind, Severity sev, const AuditPoint& p,
+              std::string detail, std::string hint = "")
+{
+    Violation v;
+    v.kind = kind;
+    v.severity = sev;
+    v.at = p.at;
+    v.detail = std::move(detail);
+    v.hint = std::move(hint);
+    v.callee = p.callee;
+    return v;
+}
+
+}  // namespace
+
 PersistReport
 checkPersistency(const Function& f)
+{
+    return checkPersistency(f, nullptr);
+}
+
+PersistReport
+checkPersistency(const Function& f, const cir::ModuleSummaries* sums)
 {
     AliasAnalysis aa(f);
     Dominators dom(f);
     PersistReport out;
 
-    auto stores =
-        f.collect([](const Instr& i) { return i.op == Op::store; });
-    auto flushes =
-        f.collect([](const Instr& i) { return i.op == Op::flush; });
-    auto fences =
-        f.collect([](const Instr& i) { return i.op == Op::fence; });
-    auto clogs = f.collect(
-        [](const Instr& i) { return i.op == Op::clobberlog; });
+    std::vector<AuditPoint> stores;
+    std::vector<AuditPoint> flushes;
+    std::vector<AuditPoint> fences;
+    std::vector<AuditPoint> clogs;
+    for (int b = 0; b < static_cast<int>(f.blocks().size()); b++) {
+        const auto& instrs = f.blocks()[b].instrs;
+        for (int i = 0; i < static_cast<int>(instrs.size()); i++) {
+            const Instr& in = instrs[i];
+            InstrRef at{b, i};
+            switch (in.op) {
+              case Op::store: stores.push_back({at, in.ptr}); break;
+              case Op::flush: flushes.push_back({at, in.ptr}); break;
+              case Op::fence: fences.push_back({at}); break;
+              case Op::clobberlog:
+                clogs.push_back({at, in.ptr});
+                break;
+              case Op::call: {
+                if (!sums)
+                    break;
+                cir::FunctionSummary cs = sums->callSummary(in);
+                out.callsChecked++;
+                for (size_t j = 0; j < in.args.size(); j++) {
+                    cir::ValueId a = in.args[j];
+                    if (a == cir::kNoValue || j >= cs.params.size())
+                        continue;
+                    const cir::ArgEffect& eff = cs.params[j];
+                    if (eff.written)
+                        stores.push_back(
+                            {at, a, true, eff.flushed, in.callee});
+                    if (eff.flushed)
+                        flushes.push_back({at, a, true,
+                                           cs.fencesOnExit,
+                                           in.callee});
+                    if (eff.logged)
+                        clogs.push_back(
+                            {at, a, true, false, in.callee});
+                }
+                if (cs.fencesOnExit)
+                    fences.push_back(
+                        {at, cir::kNoValue, true, false, in.callee});
+                break;
+              }
+              default: break;
+            }
+        }
+    }
 
     // (a) Every NVM store needs a must-aliasing flush before the
     // transaction ends. A flush *before* the store persists nothing.
+    // A callee that flushes what it writes covers its own stores.
     for (const auto& s : stores) {
-        if (aa.basedOnAlloca(f.at(s).ptr))
+        if (aa.basedOnAlloca(s.ptr))
             continue;  // stack storage is volatile by contract
         out.storesChecked++;
+        if (s.fromCall && s.coveredByCallee)
+            continue;
         bool onAllPaths = false;
         bool onSomePath = false;
         for (const auto& fl : flushes) {
-            if (aa.alias(f.at(fl).ptr, f.at(s).ptr) != Alias::must)
+            if (aa.alias(fl.ptr, s.ptr) != Alias::must)
                 continue;
-            if (dom.alwaysFollows(s, fl))
+            if (fl.at == s.at)
+                continue;  // the call's own synthetic flush
+            if (dom.alwaysFollows(s.at, fl.at))
                 onAllPaths = true;
-            else if (dom.mayFollow(s, fl))
+            else if (dom.mayFollow(s.at, fl.at))
                 onSomePath = true;
         }
+        const char* hint =
+            s.fromCall
+                ? "flush the written location in the callee, or "
+                  "flush the argument after the call"
+                : "";
         if (!onAllPaths && !onSomePath) {
-            out.violations.push_back(
-                {CheckKind::missingFlush, Severity::error, s,
-                 "no flush of this location reaches transaction end"});
+            out.violations.push_back(makeViolation(
+                CheckKind::missingFlush, Severity::error, s,
+                s.fromCall
+                    ? "callee writes through this argument and no "
+                      "flush of it reaches transaction end"
+                    : "no flush of this location reaches "
+                      "transaction end",
+                hint));
         } else if (!onAllPaths) {
-            out.violations.push_back(
-                {CheckKind::missingFlush, Severity::warning, s,
-                 "flushed on some paths only"});
+            out.violations.push_back(makeViolation(
+                CheckKind::missingFlush, Severity::warning, s,
+                "flushed on some paths only", hint));
         }
     }
 
     // (b) Every flush must be ordered by a later fence, or the line
-    // can still be lost at the commit point.
+    // can still be lost at the commit point. A callee that fences on
+    // exit orders its own flushes and acts as a fence point for
+    // flushes preceding the call.
     for (const auto& fl : flushes) {
         out.flushesChecked++;
+        if (fl.fromCall && fl.coveredByCallee)
+            continue;
         bool onAllPaths = false;
         bool onSomePath = false;
         for (const auto& fn : fences) {
-            if (dom.alwaysFollows(fl, fn))
+            if (fn.at == fl.at)
+                continue;
+            if (dom.alwaysFollows(fl.at, fn.at))
                 onAllPaths = true;
-            else if (dom.mayFollow(fl, fn))
+            else if (dom.mayFollow(fl.at, fn.at))
                 onSomePath = true;
         }
         if (!onAllPaths && !onSomePath) {
-            out.violations.push_back(
-                {CheckKind::missingFence, Severity::error, fl,
-                 "no fence follows this flush"});
+            out.violations.push_back(makeViolation(
+                CheckKind::missingFence, Severity::error, fl,
+                fl.fromCall ? "callee flushes this argument but "
+                              "nothing fences the flush"
+                            : "no fence follows this flush"));
         } else if (!onAllPaths) {
-            out.violations.push_back(
-                {CheckKind::missingFence, Severity::warning, fl,
-                 "fenced on some paths only"});
+            out.violations.push_back(makeViolation(
+                CheckKind::missingFence, Severity::warning, fl,
+                "fenced on some paths only"));
         }
     }
 
     // (c) Two must-aliasing flushes with no re-dirtying store in
-    // between: the second clwb is pure overhead.
+    // between: the second clwb is pure overhead. Call-derived
+    // flushes target unknown offsets, so only real flushes count.
     for (const auto& f1 : flushes) {
         for (const auto& f2 : flushes) {
-            if (f1 == f2 || !dom.dominates(f1, f2))
+            if (f1.fromCall || f2.fromCall)
                 continue;
-            if (aa.alias(f.at(f1).ptr, f.at(f2).ptr) != Alias::must)
+            if (f1.at == f2.at || !dom.dominates(f1.at, f2.at))
+                continue;
+            if (aa.alias(f1.ptr, f2.ptr) != Alias::must)
                 continue;
             bool redirtied = false;
             for (const auto& s : stores) {
-                if (aa.alias(f.at(s).ptr, f.at(f2).ptr) == Alias::no)
+                if (aa.alias(s.ptr, f2.ptr) == Alias::no)
                     continue;
-                if (dom.mayFollow(f1, s) && dom.mayFollow(s, f2)) {
+                if (dom.mayFollow(f1.at, s.at) &&
+                    dom.mayFollow(s.at, f2.at)) {
                     redirtied = true;
                     break;
                 }
             }
             if (!redirtied) {
-                out.violations.push_back(
-                    {CheckKind::doubleFlush, Severity::warning, f2,
-                     "line already flushed and not re-dirtied"});
+                out.violations.push_back(makeViolation(
+                    CheckKind::doubleFlush, Severity::warning, f2,
+                    "line already flushed and not re-dirtied"));
             }
         }
     }
 
     // (d) Every refined clobber site needs a dominating clobber_log
     // of its location; a clobber_log covering no site is dead weight.
-    cir::ClobberResult clob = cir::analyzeClobbers(f);
+    // With summaries the clobber pass is interprocedural, so a site
+    // can be a call: its callee must log the argument itself, or a
+    // caller-side clobber_log must dominate the call.
+    cir::ClobberResult clob =
+        sums ? cir::analyzeClobbers(f, *sums)
+             : cir::analyzeClobbers(f);
+    auto loggedAt = [&](cir::ValueId ptr,
+                        const InstrRef& site) -> bool {
+        for (const auto& c : clogs) {
+            if (c.at == site)
+                continue;
+            if (aa.alias(c.ptr, ptr) == Alias::must &&
+                dom.dominates(c.at, site))
+                return true;
+        }
+        return false;
+    };
     for (const auto& site : clob.refinedSites) {
-        if (aa.basedOnAlloca(f.at(site).ptr))
+        const Instr& in = f.at(site);
+        if (in.op == Op::call) {
+            cir::FunctionSummary cs = sums->callSummary(in);
+            for (size_t j = 0; j < in.args.size(); j++) {
+                cir::ValueId a = in.args[j];
+                if (a == cir::kNoValue || j >= cs.params.size())
+                    continue;
+                const cir::ArgEffect& eff = cs.params[j];
+                if (!eff.written || aa.basedOnAlloca(a))
+                    continue;
+                out.clobberSitesChecked++;
+                if (eff.logged || loggedAt(a, site))
+                    continue;
+                AuditPoint p{site, a, true, false, in.callee};
+                out.violations.push_back(makeViolation(
+                    CheckKind::unloggedClobber, Severity::error, p,
+                    "callee may clobber this argument and neither "
+                    "it nor the caller logs the old value",
+                    "clobber_log the location in the callee before "
+                    "its store, or clobber_log the argument before "
+                    "the call"));
+            }
+            continue;
+        }
+        if (aa.basedOnAlloca(in.ptr))
             continue;  // volatile scratch: never logged
         out.clobberSitesChecked++;
-        bool logged = false;
-        for (const auto& c : clogs) {
-            if (aa.alias(f.at(c).ptr, f.at(site).ptr) == Alias::must &&
-                dom.dominates(c, site)) {
-                logged = true;
-                break;
-            }
-        }
-        if (!logged) {
-            out.violations.push_back(
-                {CheckKind::unloggedClobber, Severity::error, site,
-                 "refined clobber site has no dominating clobber_log"});
+        if (!loggedAt(in.ptr, site)) {
+            out.violations.push_back(makeViolation(
+                CheckKind::unloggedClobber, Severity::error,
+                AuditPoint{site, in.ptr},
+                "refined clobber site has no dominating "
+                "clobber_log"));
         }
     }
     for (const auto& c : clogs) {
+        if (c.fromCall)
+            continue;  // the callee's own logging is audited there
         bool useful = false;
         for (const auto& site : clob.refinedSites) {
-            if (aa.alias(f.at(c).ptr, f.at(site).ptr) == Alias::must &&
-                dom.dominates(c, site)) {
+            const Instr& in = f.at(site);
+            cir::ValueId siteLoc = in.ptr;
+            if (in.op == Op::call) {
+                // Useful if it covers any argument the callee may
+                // write through.
+                cir::FunctionSummary cs = sums->callSummary(in);
+                for (size_t j = 0; j < in.args.size(); j++) {
+                    if (in.args[j] == cir::kNoValue ||
+                        j >= cs.params.size() ||
+                        !cs.params[j].written)
+                        continue;
+                    if (aa.alias(c.ptr, in.args[j]) ==
+                            Alias::must &&
+                        dom.dominates(c.at, site))
+                        useful = true;
+                }
+                continue;
+            }
+            if (aa.alias(c.ptr, siteLoc) == Alias::must &&
+                dom.dominates(c.at, site)) {
                 useful = true;
                 break;
             }
         }
         if (!useful) {
-            out.violations.push_back(
-                {CheckKind::unneededClobberLog, Severity::info, c,
-                 "logs a location no refined site clobbers"});
+            out.violations.push_back(makeViolation(
+                CheckKind::unneededClobberLog, Severity::info, c,
+                "logs a location no refined site clobbers"));
         }
     }
 

@@ -45,6 +45,11 @@ enum class CheckKind {
     doubleFlush,
     unloggedClobber,
     unneededClobberLog,
+    // Re-execution safety (reexec_check.h), interprocedural:
+    nondetInTx,      ///< nondeterministic op reachable in the body
+    ioInTx,          ///< I/O side effect reachable in the body
+    volatileEscape,  ///< volatile store observable outside the FASE
+    hiddenClobber,   ///< callee clobbers caller memory unlogged
 };
 
 const char* severityName(Severity s);
@@ -55,6 +60,8 @@ struct Violation {
     Severity severity;
     cir::InstrRef at;
     std::string detail;
+    std::string hint;    ///< fix-it suggestion (may be empty)
+    std::string callee;  ///< call target, for call-derived findings
 };
 
 struct PersistReport {
@@ -62,6 +69,7 @@ struct PersistReport {
     int storesChecked = 0;
     int flushesChecked = 0;
     int clobberSitesChecked = 0;
+    int callsChecked = 0;
 
     /** No error-severity findings (warnings/info may remain). */
     bool clean() const;
@@ -77,6 +85,20 @@ struct PersistReport {
 
 /** Run all four checks over (an instrumented) function. */
 PersistReport checkPersistency(const cir::Function& f);
+
+/**
+ * Summary-aware variant: helper calls participate in every audit.
+ * A callee that writes through an argument without flushing it makes
+ * the call site a store needing a caller-side flush; a callee that
+ * flushes its argument acts as a flush point (fenced already when
+ * the callee fences on exit); a callee that fences on exit acts as a
+ * fence; clobber sites come from the interprocedural clobber pass,
+ * so a call whose callee clobbers its argument needs the callee (or
+ * a dominating caller-side clobber_log) to log it. Passing nullptr
+ * reproduces the intraprocedural behavior exactly.
+ */
+PersistReport checkPersistency(const cir::Function& f,
+                               const cir::ModuleSummaries* sums);
 
 /**
  * Compiler-side emission: insert clobber_log before every refined

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Re-execution-safety verifier (interprocedural).
+ *
+ * Clobber-NVM's bargain is "log less, re-execute more": recovery
+ * replays the transaction body from its logged inputs instead of
+ * rolling data back. That is only sound when the body is a FASE the
+ * paper's restrictions actually hold for — deterministic, free of
+ * unlogged side effects, and with every clobbered input logged. This
+ * pass proves those properties across call boundaries using the
+ * cir::ModuleSummaries fixpoint:
+ *
+ *  (a) nondetInTx — a nondeterministic operation (time, rand, tsc)
+ *      is reachable through any call path: replay would compute
+ *      different values than the crashed run;
+ *  (b) ioInTx — an I/O side effect is reachable: replay would issue
+ *      it a second time;
+ *  (c) volatileEscape — a store to volatile state observable outside
+ *      the FASE (an escaped stack slot, or a callee declared
+ *      Effect::volatileWrite): replay double-applies it and other
+ *      threads can observe the intermediate state;
+ *  (d) hiddenClobber — a callee may overwrite memory the transaction
+ *      read (a clobbered input) without logging the old value, which
+ *      the intraprocedural clobber pass cannot see.
+ *
+ * Findings reuse the PersistReport machinery; every violation
+ * carries a fix-it hint and, for call-derived findings, the callee
+ * symbol.
+ */
+#ifndef CNVM_ANALYSIS_REEXEC_CHECK_H
+#define CNVM_ANALYSIS_REEXEC_CHECK_H
+
+#include "analysis/persist_check.h"
+#include "cir/ir.h"
+#include "cir/summaries.h"
+
+namespace cnvm::analysis {
+
+/**
+ * Verify that `f` (a transaction body) is safe to re-execute during
+ * recovery, resolving helper calls through `sums`. Violations (a),
+ * (b), (d) are errors; (c) is an error for resolved callees and
+ * stack escapes. Unresolved callees declared Effect::writesNVM get a
+ * hiddenClobber at error severity too — the verifier cannot prove
+ * they log what they overwrite.
+ */
+PersistReport checkReexecSafety(const cir::Function& f,
+                                const cir::ModuleSummaries& sums);
+
+}  // namespace cnvm::analysis
+
+#endif  // CNVM_ANALYSIS_REEXEC_CHECK_H

@@ -227,6 +227,10 @@ buildMemcachedSet()
     ValueId store = emitArg(f, entry, "store");
     ValueId key = emitArg(f, entry, "key");
     ValueId val = emitArg(f, entry, "value");
+    // The bucket index comes from a pure hash helper (memcached
+    // compiles its whole project through the pass, helpers included).
+    emitCall(f, entry, "memcached_hash", Effect::pure, {key},
+             "hash(key)");
     ValueId bslot = emitGep(f, entry, store, -1, "bucket");
     ValueId head = emitLoad(f, entry, bslot, "head");
 
@@ -362,6 +366,118 @@ buildYadaStep()
     emitLoad(f, wire, extPtr, "old back pointer");
     emitStore(f, wire, extPtr, nt, "ext.nbr[j] = new (clobber)");
     return f;
+}
+
+namespace {
+
+/** Self-logging RMW helper: the caller owes nothing — the clobber
+    is logged, the store flushed, and the exit fenced inside. */
+Function
+buildNvmBumpHelper()
+{
+    Function f("nvm_bump");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId x = emitLoad(f, b, p, "old");
+    ValueId y = emitBinop(f, b, x, "old+delta");
+    emitClobberLog(f, b, p, "clobber_log p");
+    emitStore(f, b, p, y, "bump (clobber)");
+    emitFlush(f, b, p, "flush p");
+    emitFence(f, b, "helper fence");
+    return f;
+}
+
+/** Pure scalar helper (key mixing). */
+Function
+buildMixHelper()
+{
+    Function f("mix64");
+    int b = f.addBlock("entry");
+    ValueId v = emitArg(f, b, "v");
+    emitBinop(f, b, v, "v * phi");
+    return f;
+}
+
+Function
+buildTxIncr()
+{
+    Function f("tx_incr");
+    int b = f.addBlock("entry");
+    ValueId root = emitArg(f, b, "root");
+    ValueId counter = emitGep(f, b, root, 0, "root.counter");
+    emitCall(f, b, "nvm_bump", Effect::writesNVM, {counter},
+             "nvm_bump(root.counter)");
+    return f;
+}
+
+Function
+buildTxPush()
+{
+    Function f("tx_push");
+    int b = f.addBlock("entry");
+    ValueId root = emitArg(f, b, "root");
+    ValueId v = emitArg(f, b, "v");
+    ValueId h = emitCall(f, b, "mix64", Effect::pure, {v},
+                         "mix64(v)");
+    ValueId n = emitMalloc(f, b, "node");
+    ValueId nVal = emitGep(f, b, n, 0, "node.value");
+    emitStore(f, b, nVal, h, "node.value = mix64(v)");
+    emitFlush(f, b, nVal, "flush node.value");
+    ValueId headPtr = emitGep(f, b, root, 16, "root.head");
+    ValueId head = emitLoad(f, b, headPtr, "old head");
+    ValueId nNext = emitGep(f, b, n, 8, "node.next");
+    emitStore(f, b, nNext, head, "node.next = head");
+    emitFlush(f, b, nNext, "flush node.next");
+    emitClobberLog(f, b, headPtr, "clobber_log root.head");
+    emitStore(f, b, headPtr, n, "root.head = node (clobber)");
+    emitFlush(f, b, headPtr, "flush root.head");
+    ValueId sumPtr = emitGep(f, b, root, 8, "root.sum");
+    emitCall(f, b, "nvm_bump", Effect::writesNVM, {sumPtr},
+             "nvm_bump(root.sum)");
+    emitFence(f, b, "commit fence");
+    return f;
+}
+
+Function
+buildTxPop()
+{
+    Function f("tx_pop");
+    int entry = f.addBlock("entry");
+    int pop = f.addBlock("pop");
+    int done = f.addBlock("done");
+    f.addEdge(entry, pop);
+    f.addEdge(entry, done);
+    f.addEdge(pop, done);
+
+    ValueId root = emitArg(f, entry, "root");
+    ValueId headPtr = emitGep(f, entry, root, 16, "root.head");
+    ValueId head = emitLoad(f, entry, headPtr, "head");
+    emitBinop(f, entry, head, "head == null?");
+
+    ValueId nextPtr = emitGep(f, pop, head, 8, "head.next");
+    ValueId next = emitLoad(f, pop, nextPtr, "head.next");
+    emitClobberLog(f, pop, headPtr, "clobber_log root.head");
+    emitStore(f, pop, headPtr, next, "root.head = next (clobber)");
+    emitFlush(f, pop, headPtr, "flush root.head");
+    ValueId sumPtr = emitGep(f, pop, root, 8, "root.sum");
+    emitCall(f, pop, "nvm_bump", Effect::writesNVM, {sumPtr},
+             "nvm_bump(root.sum)");
+    emitFence(f, done, "commit fence");
+    return f;
+}
+
+}  // namespace
+
+IrModule
+runtimeTxModule()
+{
+    IrModule m{"runtime_tx", {}};
+    m.functions.push_back(buildNvmBumpHelper());
+    m.functions.push_back(buildMixHelper());
+    m.functions.push_back(buildTxIncr());
+    m.functions.push_back(buildTxPush());
+    m.functions.push_back(buildTxPop());
+    return m;
 }
 
 std::vector<IrModule>

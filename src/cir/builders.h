@@ -59,6 +59,18 @@ Function buildYadaStep();
  */
 std::vector<IrModule> benchmarkModules(unsigned scale = 1);
 
+/**
+ * Mini-IR encodings of the runtime transaction bodies the lint
+ * drives dynamically (lint_incr / lint_push / lint_pop), written
+ * call-structured: the tx functions delegate the shared counter RMW
+ * to a self-logging helper and key mixing to a pure helper, so the
+ * interprocedural summaries are load-bearing. Bodies are
+ * pre-instrumented (clobber_log + flush + fence); the summary-aware
+ * persistency checker and the reexec verifier must both come back
+ * clean on every function.
+ */
+IrModule runtimeTxModule();
+
 }  // namespace cnvm::cir
 
 #endif  // CNVM_CIR_BUILDERS_H

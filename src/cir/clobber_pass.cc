@@ -22,58 +22,122 @@ uniqueSites(const Function& f,
     return out;
 }
 
-}  // namespace
+/**
+ * One memory access the pass reasons about. Loads and stores are
+ * `exact` (the pointer names the accessed location); call-derived
+ * accesses through an argument may touch any offset inside the
+ * argument's object, so they are inexact and never must-alias.
+ */
+struct MemAccess {
+    InstrRef at;
+    ValueId ptr = kNoValue;
+    bool exact = true;
+};
+
+Alias
+accessAlias(const AliasAnalysis& aa, const MemAccess& a,
+            const MemAccess& b)
+{
+    Alias v = aa.alias(a.ptr, b.ptr);
+    if (v == Alias::must && (!a.exact || !b.exact))
+        return Alias::may;
+    return v;
+}
+
+bool
+sameAccess(const MemAccess& a, const MemAccess& b)
+{
+    return a.at == b.at && a.ptr == b.ptr;
+}
 
 ClobberResult
-analyzeClobbers(const Function& f)
+analyzeClobbersImpl(const Function& f, const ModuleSummaries* sums)
 {
     AliasAnalysis aa(f);
     Dominators dom(f);
     ClobberResult out;
 
-    auto loads =
-        f.collect([](const Instr& i) { return i.op == Op::load; });
-    auto stores =
-        f.collect([](const Instr& i) { return i.op == Op::store; });
+    std::vector<MemAccess> reads;
+    std::vector<MemAccess> writes;
+    // (call site, arg) pairs whose callee reads-then-overwrites the
+    // argument's memory: the call alone is a clobber site.
+    std::vector<MemAccess> selfClobbers;
+    for (int b = 0; b < static_cast<int>(f.blocks().size()); b++) {
+        const auto& instrs = f.blocks()[b].instrs;
+        for (int i = 0; i < static_cast<int>(instrs.size()); i++) {
+            const Instr& in = instrs[i];
+            InstrRef at{b, i};
+            if (in.op == Op::load)
+                reads.push_back({at, in.ptr, true});
+            if (in.op == Op::store)
+                writes.push_back({at, in.ptr, true});
+            if (in.op == Op::call && sums) {
+                FunctionSummary cs = sums->callSummary(in);
+                for (size_t j = 0; j < in.args.size(); j++) {
+                    ValueId a = in.args[j];
+                    if (a == kNoValue || j >= cs.params.size())
+                        continue;
+                    const ArgEffect& eff = cs.params[j];
+                    if (eff.read)
+                        reads.push_back({at, a, false});
+                    if (eff.written)
+                        writes.push_back({at, a, false});
+                    if (eff.clobbered)
+                        selfClobbers.push_back({at, a, false});
+                }
+            }
+        }
+    }
 
-    // Step 1: candidate input reads.
-    for (const auto& r : loads) {
+    // Step 1: candidate input reads — reads not dominated by a
+    // must-aliasing store of the same location.
+    std::vector<MemAccess> candidates;
+    for (const auto& r : reads) {
         bool dominatedBySameLocStore = false;
-        for (const auto& s : stores) {
-            if (dom.dominates(s, r) &&
-                aa.alias(f.at(s).ptr, f.at(r).ptr) == Alias::must) {
+        for (const auto& s : writes) {
+            if (dom.dominates(s.at, r.at) &&
+                accessAlias(aa, s, r) == Alias::must) {
                 dominatedBySameLocStore = true;
                 break;
             }
         }
-        if (!dominatedBySameLocStore)
-            out.candidateReads.push_back(r);
-    }
-
-    // Step 2: candidate clobber writes per candidate read.
-    for (const auto& r : out.candidateReads) {
-        for (const auto& s : stores) {
-            if (dom.mayFollow(r, s) &&
-                aa.alias(f.at(s).ptr, f.at(r).ptr) != Alias::no) {
-                out.conservativePairs.emplace_back(r, s);
-            }
+        if (!dominatedBySameLocStore) {
+            candidates.push_back(r);
+            out.candidateReads.push_back(r.at);
         }
     }
 
-    // Refinement: drop unexposed and shadowed false candidates.
-    for (const auto& pair : out.conservativePairs) {
+    // Step 2: candidate clobber writes per candidate read.
+    std::vector<std::pair<MemAccess, MemAccess>> pairs;
+    for (const auto& r : candidates) {
+        for (const auto& s : writes) {
+            if (dom.mayFollow(r.at, s.at) &&
+                accessAlias(aa, s, r) != Alias::no) {
+                pairs.emplace_back(r, s);
+            }
+        }
+    }
+    // A callee that reads-then-overwrites its argument clobbers the
+    // input inside one call site: pair the site with itself.
+    for (const auto& c : selfClobbers)
+        pairs.emplace_back(c, c);
+    for (const auto& [r, s] : pairs)
+        out.conservativePairs.emplace_back(r.at, s.at);
+
+    // Refinement: drop unexposed and shadowed false candidates. The
+    // must-alias requirements mean only exact accesses can license a
+    // removal, so call-derived candidates are conservatively kept.
+    for (const auto& pair : pairs) {
         const auto& [r, s] = pair;
-        ValueId rp = f.at(r).ptr;
-        ValueId sp = f.at(s).ptr;
 
         // Unexposed (Figure 5, left): a store dominating the read
         // must-aliases the candidate write.
         bool unexposed = false;
-        for (const auto& w : stores) {
-            if (w == s)
+        for (const auto& w : writes) {
+            if (sameAccess(w, s))
                 continue;
-            if (dom.dominates(w, r) &&
-                aa.alias(f.at(w).ptr, sp) == Alias::must) {
+            if (dom.dominates(w.at, r.at) &&
+                accessAlias(aa, w, s) == Alias::must) {
                 unexposed = true;
                 break;
             }
@@ -88,16 +152,15 @@ analyzeClobbers(const Function& f)
         // guarantee W hits the input's location whenever S does:
         // either W must-aliases S, or W must-aliases the read.
         bool shadowed = false;
-        for (const auto& w : stores) {
-            if (w == s || !dom.dominates(w, s))
+        for (const auto& w : writes) {
+            if (sameAccess(w, s) || !dom.dominates(w.at, s.at))
                 continue;
-            if (!dom.mayFollow(r, w))
+            if (!dom.mayFollow(r.at, w.at))
                 continue;  // not a clobber candidate of this read
-            ValueId wp = f.at(w).ptr;
-            if (aa.alias(wp, rp) == Alias::no)
+            if (accessAlias(aa, w, r) == Alias::no)
                 continue;
-            if (aa.alias(wp, sp) == Alias::must ||
-                aa.alias(wp, rp) == Alias::must) {
+            if (accessAlias(aa, w, s) == Alias::must ||
+                accessAlias(aa, w, r) == Alias::must) {
                 shadowed = true;
                 break;
             }
@@ -106,12 +169,26 @@ analyzeClobbers(const Function& f)
             out.removedShadowed++;
             continue;
         }
-        out.refinedPairs.push_back(pair);
+        out.refinedPairs.emplace_back(r.at, s.at);
     }
 
     out.conservativeSites = uniqueSites(f, out.conservativePairs);
     out.refinedSites = uniqueSites(f, out.refinedPairs);
     return out;
+}
+
+}  // namespace
+
+ClobberResult
+analyzeClobbers(const Function& f)
+{
+    return analyzeClobbersImpl(f, nullptr);
+}
+
+ClobberResult
+analyzeClobbers(const Function& f, const ModuleSummaries& sums)
+{
+    return analyzeClobbersImpl(f, &sums);
 }
 
 uint64_t

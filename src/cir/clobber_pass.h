@@ -29,6 +29,7 @@
 
 #include "cir/analysis.h"
 #include "cir/ir.h"
+#include "cir/summaries.h"
 
 namespace cnvm::cir {
 
@@ -50,6 +51,21 @@ struct ClobberResult {
 
 /** Run the full pass (conservative identification + refinement). */
 ClobberResult analyzeClobbers(const Function& f);
+
+/**
+ * Summary-aware (interprocedural) variant: calls contribute memory
+ * accesses through their pointer arguments, derived from the
+ * callee's FunctionSummary (or its declared effect class when the
+ * callee is not in the module). A call whose callee reads an
+ * argument's memory acts as an input read of that pointer; one whose
+ * callee writes it acts as a clobber write; a callee that both reads
+ * and overwrites it makes the call site itself a clobber site. Call
+ * accesses target unknown offsets inside the argument's object, so
+ * they never participate in must-alias refinement (conservatively
+ * kept).
+ */
+ClobberResult analyzeClobbers(const Function& f,
+                              const ModuleSummaries& sums);
 
 /**
  * The instrumentation baseline: walk the function once, as a plain

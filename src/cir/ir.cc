@@ -2,6 +2,20 @@
 
 namespace cnvm::cir {
 
+const char*
+effectName(Effect e)
+{
+    switch (e) {
+      case Effect::pure: return "pure";
+      case Effect::readsNVM: return "reads-nvm";
+      case Effect::writesNVM: return "writes-nvm";
+      case Effect::volatileWrite: return "volatile-write";
+      case Effect::nondet: return "nondeterministic";
+      case Effect::io: return "io";
+    }
+    return "?";
+}
+
 ValueId
 emitArg(Function& f, int block, const std::string& name)
 {
@@ -70,6 +84,20 @@ emitBinop(Function& f, int block, ValueId in, const std::string& name)
     i.op = Op::binop;
     i.value = in;
     i.name = name;
+    return f.append(block, i);
+}
+
+ValueId
+emitCall(Function& f, int block, const std::string& callee,
+         Effect effect, std::vector<ValueId> args,
+         const std::string& name)
+{
+    Instr i;
+    i.op = Op::call;
+    i.callee = callee;
+    i.effect = effect;
+    i.args = std::move(args);
+    i.name = name.empty() ? "call " + callee : name;
     return f.append(block, i);
 }
 

@@ -29,6 +29,23 @@ namespace cnvm::cir {
 using ValueId = int;
 constexpr ValueId kNoValue = -1;
 
+/**
+ * Declared effect class of a call target. For callees defined in the
+ * same module the interprocedural summaries (cir/summaries.h) refine
+ * this from the body; for external (unresolved) callees the declared
+ * class is all the analysis knows, so it must be conservative.
+ */
+enum class Effect {
+    pure,           ///< no memory effects, deterministic
+    readsNVM,       ///< may read NVM through its pointer arguments
+    writesNVM,      ///< may read and write NVM through its arguments
+    volatileWrite,  ///< writes observable volatile state (globals)
+    nondet,         ///< result depends on hidden state (time, rand)
+    io,             ///< externally observable side effect (I/O)
+};
+
+const char* effectName(Effect e);
+
 enum class Op {
     arg,       ///< function argument (pointer or scalar)
     alloca_,   ///< stack allocation (fresh storage)
@@ -37,7 +54,7 @@ enum class Op {
     load,      ///< read *operand0
     store,     ///< write operand1 to *operand0
     binop,     ///< scalar arithmetic over operands
-    call,      ///< opaque call (no memory effects modeled)
+    call,      ///< call of `callee` with `args`; effects per summary
     br,        ///< unconditional branch (succ0)
     condbr,    ///< conditional branch (succ0 / succ1)
     ret,
@@ -63,6 +80,9 @@ struct Instr {
     ValueId value = kNoValue;    ///< store data / gep base / binop in
     int64_t offset = 0;          ///< gep: field offset; -1 = unknown
     std::string name;            ///< debugging label
+    std::string callee;          ///< call: target symbol
+    Effect effect = Effect::pure;  ///< call: declared effect class
+    std::vector<ValueId> args;   ///< call: actual arguments
 };
 
 struct Block {
@@ -159,6 +179,9 @@ void emitStore(Function& f, int block, ValueId ptr, ValueId value,
                const std::string& name = "");
 ValueId emitBinop(Function& f, int block, ValueId in,
                   const std::string& name = "");
+ValueId emitCall(Function& f, int block, const std::string& callee,
+                 Effect effect, std::vector<ValueId> args,
+                 const std::string& name = "");
 void emitFlush(Function& f, int block, ValueId ptr,
                const std::string& name = "");
 void emitFence(Function& f, int block, const std::string& name = "");

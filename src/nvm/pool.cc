@@ -215,8 +215,9 @@ void
 Pool::write(void* dst, const void* src, size_t n)
 {
     CNVM_CHECK(contains(dst), "write outside pool");
-    writeCount_++;
-    if (trapCountdown_ > 0 && --trapCountdown_ == 0)
+    writeCount_.fetch_add(1, std::memory_order_relaxed);
+    if (trapCountdown_.load(std::memory_order_relaxed) > 0 &&
+        trapCountdown_.fetch_sub(1, std::memory_order_relaxed) == 1)
         throw CrashInjected{};
     cache_->willWrite(offsetOf(dst), n);
     if (n == 8)

@@ -25,6 +25,7 @@
 #ifndef CNVM_NVM_POOL_H
 #define CNVM_NVM_POOL_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -220,10 +221,16 @@ class Pool {
      * 0 disarms. Sweeping the countdown lets tests crash a transaction
      * at every possible point.
      */
-    void armWriteTrap(uint64_t countdown) { trapCountdown_ = countdown; }
+    void armWriteTrap(uint64_t countdown)
+    {
+        trapCountdown_.store(countdown, std::memory_order_relaxed);
+    }
 
     /** Writes performed since construction (to size trap sweeps). */
-    uint64_t writeCount() const { return writeCount_; }
+    uint64_t writeCount() const
+    {
+        return writeCount_.load(std::memory_order_relaxed);
+    }
 
     /** Ambient pool used by PPtr<T>. */
     static Pool* current();
@@ -234,8 +241,10 @@ class Pool {
 
     PoolHeader* mutableHeader() const;
 
-    uint64_t trapCountdown_ = 0;
-    uint64_t writeCount_ = 0;
+    // Atomic: Pool::write runs concurrently in the CacheSim stress
+    // tests; these counters carry no ordering, relaxed is enough.
+    std::atomic<uint64_t> trapCountdown_{0};
+    std::atomic<uint64_t> writeCount_{0};
     uint8_t* base_ = nullptr;
     size_t mappedSize_ = 0;
     int fd_ = -1;

@@ -9,8 +9,10 @@
 #include "analysis/durability.h"
 #include "analysis/fixtures.h"
 #include "analysis/persist_check.h"
+#include "analysis/reexec_check.h"
 #include "cir/builders.h"
 #include "cir/clobber_pass.h"
+#include "cir/summaries.h"
 #include "stats/counters.h"
 #include "testutil.h"
 
@@ -137,6 +139,192 @@ TEST(PersistCheck, InstrumentationPreservesClobberAnalysis)
                 << mod.name << "/" << fn.name();
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Re-execution-safety verifier: seeded interprocedural fixtures.
+
+const cir::Function&
+findFn(const cir::IrModule& mod, const std::string& name)
+{
+    for (const auto& fn : mod.functions)
+        if (fn.name() == name)
+            return fn;
+    ADD_FAILURE() << mod.name << ": no function " << name;
+    return mod.functions.front();
+}
+
+TEST(ReexecCheck, FlagsEverySeededViolation)
+{
+    auto fixtures = analysis::seededReexecFixtures();
+    ASSERT_EQ(fixtures.size(), 4u);
+    for (const auto& fix : fixtures) {
+        cir::ModuleSummaries sums(fix.mod.functions);
+        const auto& tx = findFn(fix.mod, fix.txFunction);
+        auto rep = analysis::checkReexecSafety(tx, sums);
+        EXPECT_TRUE(rep.has(fix.expected))
+            << tx.name() << ": seeded "
+            << analysis::checkKindName(fix.expected)
+            << " not flagged\n"
+            << rep.toString(tx);
+        EXPECT_FALSE(rep.clean()) << tx.name();
+        // Every finding ships a fix-it hint.
+        for (const auto& v : rep.violations)
+            EXPECT_FALSE(v.hint.empty())
+                << tx.name() << ": "
+                << analysis::checkKindName(v.kind);
+    }
+}
+
+TEST(ReexecCheck, NondeterminismSeenThroughPureDeclaredCall)
+{
+    // The tx declares its helper call pure; the helper reaches
+    // rdtsc. Only the transitive summary can catch the lie.
+    auto mod = analysis::buildNondetTxModule();
+    cir::ModuleSummaries sums(mod.functions);
+    const auto& tx = findFn(mod, "seed_nondet_call");
+    auto rep = analysis::checkReexecSafety(tx, sums);
+    ASSERT_EQ(rep.count(CheckKind::nondetInTx), 1);
+    for (const auto& v : rep.violations)
+        if (v.kind == CheckKind::nondetInTx)
+            EXPECT_EQ(v.callee, "get_stamp");
+    // The helper itself is also unsafe to replay.
+    auto hrep =
+        analysis::checkReexecSafety(findFn(mod, "get_stamp"), sums);
+    EXPECT_TRUE(hrep.has(CheckKind::nondetInTx));
+}
+
+TEST(ReexecCheck, CleanModuleIsSilent)
+{
+    auto mod = analysis::buildReexecCleanModule();
+    cir::ModuleSummaries sums(mod.functions);
+    for (const auto& fn : mod.functions) {
+        auto rep = analysis::checkReexecSafety(fn, sums);
+        EXPECT_TRUE(rep.violations.empty())
+            << fn.name() << "\n" << rep.toString(fn);
+        EXPECT_GE(rep.callsChecked, 0);
+        auto prep = analysis::checkPersistency(fn, &sums);
+        EXPECT_TRUE(prep.clean())
+            << fn.name() << "\n" << prep.toString(fn);
+        EXPECT_EQ(prep.count(Severity::warning), 0)
+            << fn.name() << "\n" << prep.toString(fn);
+    }
+}
+
+TEST(ReexecCheck, HiddenClobberNeedsSummaries)
+{
+    // The acceptance pin at fixture level: the tx body is a single
+    // call, so the intraprocedural clobber pass provably finds no
+    // sites, while the interprocedural pass pins the call site and
+    // both interprocedural audits flag the missing log.
+    auto mod = analysis::buildHiddenClobberModule();
+    const auto& tx = findFn(mod, "seed_hidden_clobber");
+
+    auto intra = cir::analyzeClobbers(tx);
+    EXPECT_TRUE(intra.conservativeSites.empty());
+    EXPECT_TRUE(intra.refinedSites.empty());
+
+    cir::ModuleSummaries sums(mod.functions);
+    auto inter = cir::analyzeClobbers(tx, sums);
+    ASSERT_EQ(inter.refinedSites.size(), 1u);
+    EXPECT_EQ(tx.at(inter.refinedSites[0]).callee,
+              "sum_bump_unlogged");
+
+    auto rrep = analysis::checkReexecSafety(tx, sums);
+    EXPECT_TRUE(rrep.has(CheckKind::hiddenClobber));
+    auto prep = analysis::checkPersistency(tx, &sums);
+    EXPECT_TRUE(prep.has(CheckKind::unloggedClobber))
+        << prep.toString(tx);
+}
+
+TEST(ReexecCheck, CallerSideLogDischargesHiddenClobber)
+{
+    // Same unlogged helper, but the caller clobber_logs the argument
+    // before the call: the obligation is met at the call site.
+    auto mod = analysis::buildHiddenClobberModule();
+    cir::Function tx("tx_logged_at_caller");
+    int b = tx.addBlock("entry");
+    cir::ValueId p = cir::emitArg(tx, b, "p");
+    cir::emitClobberLog(tx, b, p, "clobber_log p (caller side)");
+    cir::emitCall(tx, b, "sum_bump_unlogged",
+                  cir::Effect::writesNVM, {p});
+    mod.functions.push_back(tx);
+
+    cir::ModuleSummaries sums(mod.functions);
+    auto rep = analysis::checkReexecSafety(
+        findFn(mod, "tx_logged_at_caller"), sums);
+    EXPECT_FALSE(rep.has(CheckKind::hiddenClobber))
+        << rep.toString(tx);
+}
+
+TEST(ReexecCheck, RuntimeTxCorpusVerifiesClean)
+{
+    // The acceptance gate in unit-test form: every runtime tx
+    // function passes both interprocedural audits with zero errors.
+    auto mod = cir::runtimeTxModule();
+    cir::ModuleSummaries sums(mod.functions);
+    for (const auto& fn : mod.functions) {
+        auto prep = analysis::checkPersistency(fn, &sums);
+        EXPECT_TRUE(prep.clean())
+            << fn.name() << "\n" << prep.toString(fn);
+        EXPECT_EQ(prep.count(Severity::warning), 0)
+            << fn.name() << "\n" << prep.toString(fn);
+        auto rrep = analysis::checkReexecSafety(fn, sums);
+        EXPECT_TRUE(rrep.violations.empty())
+            << fn.name() << "\n" << rrep.toString(fn);
+    }
+    // The tx entry points really do lean on their callees.
+    EXPECT_FALSE(sums.callees(findFn(mod, "tx_push")).empty());
+}
+
+TEST(PersistCheck, SummaryAwareCrossesCallBoundaries)
+{
+    // The caller's store is flushed and fenced only inside a helper:
+    // the intraprocedural audit flags it, the summary-aware audit
+    // sees the callee's coverage.
+    cir::Function helper("persist_field");
+    int hb = helper.addBlock("entry");
+    cir::ValueId q = cir::emitArg(helper, hb, "q");
+    cir::emitFlush(helper, hb, q, "flush q");
+    cir::emitFence(helper, hb, "fence");
+
+    cir::Function tx("tx_delegated_persist");
+    int b = tx.addBlock("entry");
+    cir::ValueId p = cir::emitArg(tx, b, "p");
+    cir::ValueId x = cir::emitLoad(tx, b, p, "input read");
+    cir::emitClobberLog(tx, b, p, "clobber_log p");
+    cir::emitStore(tx, b, p, x, "clobber");
+    cir::emitCall(tx, b, "persist_field", cir::Effect::writesNVM,
+                  {p});
+
+    auto intra = analysis::checkPersistency(tx);
+    EXPECT_TRUE(intra.has(CheckKind::missingFlush));
+
+    cir::ModuleSummaries sums(
+        std::vector<cir::Function>{helper, tx});
+    auto inter = analysis::checkPersistency(tx, &sums);
+    EXPECT_TRUE(inter.clean()) << inter.toString(tx);
+    EXPECT_FALSE(inter.has(CheckKind::missingFlush))
+        << inter.toString(tx);
+    EXPECT_FALSE(inter.has(CheckKind::missingFence))
+        << inter.toString(tx);
+    EXPECT_GE(inter.callsChecked, 1);
+}
+
+TEST(PersistCheck, ReportNamesCalleeForCallFindings)
+{
+    // Call-derived findings print the callee symbol, not a bare
+    // instruction index, and carry their fix-it hint.
+    auto mod = analysis::buildHiddenClobberModule();
+    const auto& tx = findFn(mod, "seed_hidden_clobber");
+    cir::ModuleSummaries sums(mod.functions);
+    auto rep = analysis::checkReexecSafety(tx, sums);
+    ASSERT_FALSE(rep.violations.empty());
+    std::string text = rep.toString(tx);
+    EXPECT_NE(text.find("at call 'sum_bump_unlogged'"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("fix:"), std::string::npos) << text;
 }
 
 // ---------------------------------------------------------------------

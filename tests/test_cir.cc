@@ -9,6 +9,7 @@
 #include "cir/analysis.h"
 #include "cir/builders.h"
 #include "cir/clobber_pass.h"
+#include "cir/summaries.h"
 
 namespace cnvm::cir {
 namespace {
@@ -294,6 +295,314 @@ TEST(ClobberPass, BaselineTraversalIsStable)
     EXPECT_EQ(baselineTraversal(f), baselineTraversal(f));
     EXPECT_NE(baselineTraversal(f),
               baselineTraversal(buildListInsert()));
+}
+
+TEST(AliasAnalysis, UnknownOffsetStaysInsideItsObject)
+{
+    Function f("unknown_off");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId p8 = emitGep(f, b, p, 8);
+    ValueId pU = emitGep(f, b, p, -1);
+    ValueId pU8 = emitGep(f, b, pU, 8);  // known step off unknown
+    ValueId m = emitMalloc(f, b, "m");
+
+    AliasAnalysis aa(f);
+    // Unknown offsets may hit any field of the same object...
+    EXPECT_EQ(aa.alias(pU, p), Alias::may);
+    EXPECT_EQ(aa.alias(pU, p8), Alias::may);
+    // ...and stay unknown through further known-offset geps.
+    EXPECT_EQ(aa.alias(pU8, p8), Alias::may);
+    EXPECT_EQ(aa.alias(pU8, pU), Alias::may);
+    // But they cannot escape the base object: a fresh allocation is
+    // still provably disjoint.
+    EXPECT_EQ(aa.alias(pU, m), Alias::no);
+}
+
+TEST(AliasAnalysis, LoadedPointerBases)
+{
+    Function f("loaded_bases");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId ld1 = emitLoad(f, b, p, "head 1");
+    ValueId ld2 = emitLoad(f, b, p, "head 2");
+    ValueId g8 = emitGep(f, b, ld1, 8);
+    ValueId g8b = emitGep(f, b, ld1, 8);
+    ValueId g16 = emitGep(f, b, ld1, 16);
+    ValueId m = emitMalloc(f, b, "m");
+
+    AliasAnalysis aa(f);
+    // One loaded pointer is one base: field reasoning works off it.
+    EXPECT_EQ(aa.alias(g8, g8b), Alias::must);
+    EXPECT_EQ(aa.alias(g8, g16), Alias::no);
+    // Two loads of the same slot are distinct bases (the slot could
+    // have been overwritten between them): only may.
+    EXPECT_EQ(aa.alias(ld1, ld2), Alias::may);
+    EXPECT_EQ(aa.alias(g8, p), Alias::may);
+    // A loaded pointer could target a just-published fresh object.
+    EXPECT_EQ(aa.alias(ld1, m), Alias::may);
+}
+
+TEST(AliasAnalysis, BasedOnAllocaThroughPointerCopies)
+{
+    Function f("alloca_copies");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId a = emitAlloca(f, b, "a");
+    ValueId copy = emitGep(f, b, a, 0, "copy of a");
+    ValueId field = emitGep(f, b, copy, 8, "a.f");
+    ValueId unk = emitGep(f, b, copy, -1, "a.?");
+    ValueId m = emitMalloc(f, b, "m");
+
+    AliasAnalysis aa(f);
+    EXPECT_TRUE(aa.basedOnAlloca(a));
+    EXPECT_TRUE(aa.basedOnAlloca(copy));
+    EXPECT_TRUE(aa.basedOnAlloca(field));
+    EXPECT_TRUE(aa.basedOnAlloca(unk));
+    EXPECT_FALSE(aa.basedOnAlloca(p));
+    EXPECT_FALSE(aa.basedOnAlloca(m));
+    // The copy preserves field reasoning off the alloca base.
+    EXPECT_EQ(aa.alias(copy, a), Alias::must);
+    EXPECT_EQ(aa.alias(field, a), Alias::no);
+}
+
+TEST(Summaries, BaseResolverClassifiesValues)
+{
+    Function f("bases");
+    int b = f.addBlock("entry");
+    ValueId p = emitArg(f, b, "p");
+    ValueId q = emitArg(f, b, "q");
+    ValueId a = emitAlloca(f, b, "a");
+    ValueId copy = emitGep(f, b, a, 0);
+    ValueId m = emitMalloc(f, b, "m");
+    ValueId pf = emitGep(f, b, p, 8);
+    ValueId ld = emitLoad(f, b, p);
+
+    BaseResolver bases(f);
+    EXPECT_EQ(bases.numParams(), 2);
+    EXPECT_EQ(bases.kind(p), BaseResolver::Kind::param);
+    EXPECT_EQ(bases.paramIndex(p), 0);
+    EXPECT_EQ(bases.kind(q), BaseResolver::Kind::param);
+    EXPECT_EQ(bases.paramIndex(q), 1);
+    EXPECT_EQ(bases.kind(pf), BaseResolver::Kind::param);
+    EXPECT_EQ(bases.paramIndex(pf), 0);
+    EXPECT_EQ(bases.kind(a), BaseResolver::Kind::alloca_);
+    EXPECT_EQ(bases.kind(copy), BaseResolver::Kind::alloca_);
+    EXPECT_EQ(bases.allocaRoot(copy), a);
+    EXPECT_EQ(bases.kind(m), BaseResolver::Kind::fresh);
+    EXPECT_EQ(bases.kind(ld), BaseResolver::Kind::unknown);
+}
+
+TEST(Summaries, SelfLoggingHelperSummary)
+{
+    // nvm_bump: load, clobber_log, store, flush, fence on its one
+    // parameter — the summary must carry all of it.
+    IrModule rt = runtimeTxModule();
+    ModuleSummaries sums(rt.functions);
+    const FunctionSummary* s = sums.lookup("nvm_bump");
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->params.size(), 1u);
+    EXPECT_TRUE(s->params[0].read);
+    EXPECT_TRUE(s->params[0].written);
+    EXPECT_TRUE(s->params[0].clobbered);
+    EXPECT_TRUE(s->params[0].logged);
+    EXPECT_TRUE(s->params[0].flushed);
+    EXPECT_FALSE(s->params[0].escapes);
+    EXPECT_TRUE(s->deterministic);
+    EXPECT_FALSE(s->doesIO);
+    EXPECT_TRUE(s->fencesOnExit);
+    EXPECT_FALSE(s->callsUnknown);
+
+    // mix64 is pure: no memory effects at all.
+    const FunctionSummary* mix = sums.lookup("mix64");
+    ASSERT_NE(mix, nullptr);
+    EXPECT_FALSE(mix->params[0].read);
+    EXPECT_FALSE(mix->params[0].written);
+    EXPECT_TRUE(mix->deterministic);
+}
+
+TEST(Summaries, EffectsPropagateThroughCallChain)
+{
+    // caller(p) -> mid(p) -> leaf(p), where only leaf touches
+    // memory: the leaf's clobber must surface in caller's summary.
+    Function leaf("leaf");
+    int lb = leaf.addBlock("entry");
+    ValueId lq = emitArg(leaf, lb, "q");
+    ValueId lx = emitLoad(leaf, lb, lq);
+    emitStore(leaf, lb, lq, lx, "rmw");
+
+    Function mid("mid");
+    int mb = mid.addBlock("entry");
+    ValueId mq = emitArg(mid, mb, "q");
+    emitCall(mid, mb, "leaf", Effect::pure, {mq});
+
+    Function top("top");
+    int tb = top.addBlock("entry");
+    ValueId tq = emitArg(top, tb, "q");
+    emitCall(top, tb, "mid", Effect::pure, {tq});
+
+    ModuleSummaries sums({leaf, mid, top});
+    const FunctionSummary* s = sums.lookup("top");
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->params[0].read);
+    EXPECT_TRUE(s->params[0].written);
+    EXPECT_TRUE(s->params[0].clobbered);
+    EXPECT_FALSE(s->params[0].logged);
+
+    // The call-graph edges resolve by symbol name.
+    EXPECT_EQ(sums.callees(top),
+              std::vector<std::string>{"mid"});
+}
+
+TEST(Summaries, NondeterminismIsTransitive)
+{
+    // top calls helper (declared pure); helper calls external rdtsc
+    // declared nondet. Only the fixpoint sees through the lie.
+    Function helper("helper");
+    int hb = helper.addBlock("entry");
+    emitCall(helper, hb, "rdtsc", Effect::nondet, {});
+
+    Function top("top");
+    int tb = top.addBlock("entry");
+    emitArg(top, tb, "p");
+    emitCall(top, tb, "helper", Effect::pure, {});
+
+    ModuleSummaries sums({helper, top});
+    EXPECT_FALSE(sums.lookup("helper")->deterministic);
+    EXPECT_FALSE(sums.lookup("top")->deterministic);
+    EXPECT_TRUE(sums.lookup("helper")->callsUnknown);
+}
+
+TEST(Summaries, RecursionConvergesToLeastFixpoint)
+{
+    // Mutually recursive pair where one side also stores through the
+    // shared parameter: both summaries converge, both report the
+    // write, and determinism survives (no nondet anywhere).
+    Function even("even");
+    int eb = even.addBlock("entry");
+    ValueId ep = emitArg(even, eb, "p");
+    emitCall(even, eb, "odd", Effect::writesNVM, {ep});
+
+    Function odd("odd");
+    int ob = odd.addBlock("entry");
+    ValueId op = emitArg(odd, ob, "p");
+    ValueId ov = emitLoad(odd, ob, op);
+    emitStore(odd, ob, op, ov, "rmw");
+    emitCall(odd, ob, "even", Effect::writesNVM, {op});
+
+    ModuleSummaries sums({even, odd});
+    EXPECT_LT(sums.iterations(), 10);
+    for (const char* name : {"even", "odd"}) {
+        const FunctionSummary* s = sums.lookup(name);
+        ASSERT_NE(s, nullptr) << name;
+        EXPECT_TRUE(s->params[0].read) << name;
+        EXPECT_TRUE(s->params[0].written) << name;
+        EXPECT_TRUE(s->params[0].clobbered) << name;
+        EXPECT_TRUE(s->deterministic) << name;
+    }
+}
+
+TEST(Summaries, DeclaredSummaryIsConservative)
+{
+    FunctionSummary w =
+        ModuleSummaries::declaredSummary(Effect::writesNVM, 2);
+    ASSERT_EQ(w.params.size(), 2u);
+    EXPECT_TRUE(w.params[0].written);
+    EXPECT_TRUE(w.params[0].clobbered);
+    EXPECT_FALSE(w.params[0].logged);
+    EXPECT_TRUE(w.deterministic);
+    EXPECT_TRUE(w.callsUnknown);
+
+    FunctionSummary p =
+        ModuleSummaries::declaredSummary(Effect::pure, 1);
+    EXPECT_FALSE(p.params[0].written);
+    EXPECT_FALSE(p.callsUnknown);
+
+    EXPECT_FALSE(ModuleSummaries::declaredSummary(Effect::nondet, 0)
+                     .deterministic);
+    EXPECT_TRUE(
+        ModuleSummaries::declaredSummary(Effect::io, 0).doesIO);
+    EXPECT_TRUE(
+        ModuleSummaries::declaredSummary(Effect::volatileWrite, 0)
+            .volatileEscape);
+}
+
+TEST(ClobberPass, InterproceduralFindsCalleeHiddenClobber)
+{
+    // The acceptance pin: a tx whose only memory effect hides inside
+    // a callee. Intraprocedurally there are no loads or stores, so
+    // the pass provably finds nothing; with summaries the call site
+    // itself becomes the clobber site.
+    Function helper("bump");
+    int hb = helper.addBlock("entry");
+    ValueId q = emitArg(helper, hb, "q");
+    ValueId x = emitLoad(helper, hb, q);
+    emitStore(helper, hb, q, x, "rmw in callee");
+
+    Function tx("tx");
+    int tb = tx.addBlock("entry");
+    ValueId p = emitArg(tx, tb, "p");
+    emitCall(tx, tb, "bump", Effect::writesNVM, {p},
+             "bump(p)");
+
+    ClobberResult intra = analyzeClobbers(tx);
+    EXPECT_TRUE(intra.conservativeSites.empty());
+    EXPECT_TRUE(intra.refinedSites.empty());
+
+    ModuleSummaries sums({helper, tx});
+    ClobberResult inter = analyzeClobbers(tx, sums);
+    ASSERT_EQ(inter.refinedSites.size(), 1u);
+    EXPECT_EQ(tx.at(inter.refinedSites[0]).op, Op::call);
+    EXPECT_EQ(tx.at(inter.refinedSites[0]).callee, "bump");
+}
+
+TEST(ClobberPass, CalleeWriteNeverLicensesRefinement)
+{
+    // A callee write targets unknown offsets inside the argument's
+    // object, so it must never count as a must-alias store: the
+    // caller's own read-modify-write below stays a clobber site.
+    Function helper("scribble");
+    int hb = helper.addBlock("entry");
+    ValueId q = emitArg(helper, hb, "q");
+    emitStore(helper, hb, q, q, "blind store in callee");
+
+    Function tx("tx");
+    int tb = tx.addBlock("entry");
+    ValueId p = emitArg(tx, tb, "p");
+    emitCall(tx, tb, "scribble", Effect::writesNVM, {p});
+    ValueId x = emitLoad(tx, tb, p, "still an input read");
+    emitStore(tx, tb, p, x, "caller clobber");
+
+    ModuleSummaries sums({helper, tx});
+    ClobberResult res = analyzeClobbers(tx, sums);
+    // The call's inexact write cannot discharge the load, so the
+    // caller store keeps its clobber pairing.
+    bool callerSite = false;
+    for (const auto& site : res.refinedSites)
+        callerSite |= tx.at(site).name == "caller clobber";
+    EXPECT_TRUE(callerSite);
+}
+
+TEST(ClobberPass, SummaryAwareMatchesIntraOnCallFreeCode)
+{
+    // On call-free functions the two overloads must agree exactly.
+    for (const auto& mod : benchmarkModules()) {
+        ModuleSummaries sums(mod.functions);
+        for (const auto& fn : mod.functions) {
+            bool hasCall = !fn.collect([](const Instr& i) {
+                                 return i.op == Op::call;
+                             }).empty();
+            if (hasCall)
+                continue;
+            ClobberResult intra = analyzeClobbers(fn);
+            ClobberResult inter = analyzeClobbers(fn, sums);
+            EXPECT_EQ(intra.refinedSites.size(),
+                      inter.refinedSites.size())
+                << mod.name << "/" << fn.name();
+            EXPECT_EQ(intra.conservativeSites.size(),
+                      inter.conservativeSites.size());
+        }
+    }
 }
 
 }  // namespace

@@ -1,35 +1,50 @@
 /**
  * @file
- * cnvm_lint: the persistency checker CLI.
+ * cnvm_lint: the persistency + re-execution-safety checker CLI.
  *
- * Three phases, any failure exits non-zero:
+ * Modes (default `all`):
  *
- *  1. Detection self-check — every seeded-violation fixture
- *     (missing flush, missing fence, unlogged clobber, double flush)
- *     must be flagged with its expected finding; the clean fixture
- *     must report nothing. A lint that cannot catch planted bugs
- *     proves nothing about real ones.
- *  2. Static lint — every registered benchmark CIR function is run
- *     through the clobber pass, instrumented (clobber_log + flush +
- *     commit fence, as the compiler would emit), and the result must
- *     check clean: zero errors, zero warnings.
- *  3. Dynamic validation — each of the six runtimes executes a short
- *     mixed workload (including a crashAllLost + recovery round trip)
- *     with the DurabilityValidator attached; no commit may leave a
- *     dirty line. The no-log baseline claims no durability and is
- *     audited with that contract.
+ *  persist — the intraprocedural pipeline: every seeded-violation
+ *      fixture (missing flush, missing fence, unlogged clobber,
+ *      double flush) must be flagged with its expected finding and
+ *      the clean fixture must report nothing; then every registered
+ *      benchmark CIR function is run through the clobber pass,
+ *      instrumented, and must check clean.
+ *  reexec — the interprocedural pipeline: every seeded reexec
+ *      fixture (nondeterministic call, I/O in tx, escaping volatile
+ *      store, callee-hidden clobber) must be flagged; then the whole
+ *      corpus (benchmark modules + the runtime tx module) is checked
+ *      with call summaries: summary-aware persistency audit plus the
+ *      re-execution-safety verifier, zero errors required.
+ *  dynamic — each of the six runtimes executes a short mixed
+ *      workload (including a crashAllLost + recovery round trip)
+ *      with the DurabilityValidator attached; no commit may leave a
+ *      dirty line.
+ *  all — everything above.
  *
- * Usage: cnvm_lint [-v]
+ * Flags: -v (verbose), --json (machine-readable findings; persist
+ * and reexec modes only), --werror (warning findings also fail),
+ * --list (enumerate registered fixtures + corpus functions, exit 0).
+ *
+ * Exit codes: 0 clean, 1 findings (or self-check/validator failure),
+ * 2 usage error.
+ *
+ * Usage: cnvm_lint [persist|reexec|dynamic|all] [-v] [--json]
+ *                  [--werror] [--list]
  */
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "alloc/pm_allocator.h"
 #include "analysis/durability.h"
 #include "analysis/fixtures.h"
 #include "analysis/persist_check.h"
+#include "analysis/reexec_check.h"
 #include "cir/builders.h"
 #include "cir/clobber_pass.h"
+#include "cir/summaries.h"
 #include "nvm/pool.h"
 #include "nvm/pptr.h"
 #include "runtimes/factory.h"
@@ -40,6 +55,74 @@ using namespace cnvm;
 namespace {
 
 bool verbose = false;
+int selfCheckFailures = 0;
+int errorFindings = 0;
+int warningFindings = 0;
+
+/** Findings accumulator for --json (null when emitting text). */
+std::string* jsonOut = nullptr;
+bool jsonFirst = true;
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** Record one function's report: JSON object or verbose text. */
+void
+emitReport(const std::string& module, const cir::Function& f,
+           const analysis::PersistReport& rep, bool bad)
+{
+    errorFindings += rep.count(analysis::Severity::error);
+    warningFindings += rep.count(analysis::Severity::warning);
+    if (jsonOut) {
+        std::string& o = *jsonOut;
+        if (!jsonFirst)
+            o += ",";
+        jsonFirst = false;
+        o += "\n    {\"module\": \"" + jsonEscape(module) +
+             "\", \"function\": \"" + jsonEscape(f.name()) +
+             "\", \"findings\": [";
+        bool first = true;
+        for (const auto& v : rep.violations) {
+            if (!first)
+                o += ", ";
+            first = false;
+            o += "\n      {\"kind\": \"";
+            o += analysis::checkKindName(v.kind);
+            o += "\", \"severity\": \"";
+            o += analysis::severityName(v.severity);
+            o += "\", \"block\": " + std::to_string(v.at.block) +
+                 ", \"instr\": " + std::to_string(v.at.index);
+            std::string callee =
+                !v.callee.empty() ? v.callee
+                                  : f.at(v.at).op == cir::Op::call
+                                        ? f.at(v.at).callee
+                                        : "";
+            if (!callee.empty())
+                o += ", \"callee\": \"" + jsonEscape(callee) + "\"";
+            o += ", \"detail\": \"" + jsonEscape(v.detail) + "\"";
+            if (!v.hint.empty())
+                o += ", \"hint\": \"" + jsonEscape(v.hint) + "\"";
+            o += "}";
+        }
+        o += first ? "]}" : "\n    ]}";
+    } else if (bad || verbose) {
+        std::printf("%s/%s", module.c_str(),
+                    rep.toString(f).c_str());
+    }
+}
 
 /** Minimal persistent root for the dynamic workload. */
 struct LintRoot {
@@ -106,7 +189,7 @@ runFixtureSelfCheck()
                         fn.name().c_str(),
                         analysis::checkKindName(expected));
             ok = false;
-        } else if (verbose) {
+        } else if (verbose && !jsonOut) {
             std::printf("%s", rep.toString(fn).c_str());
         }
     }
@@ -118,7 +201,11 @@ runFixtureSelfCheck()
                     rep.toString(clean).c_str());
         ok = false;
     }
-    std::printf("fixture self-check: %s\n", ok ? "ok" : "FAILED");
+    if (!jsonOut)
+        std::printf("fixture self-check: %s\n",
+                    ok ? "ok" : "FAILED");
+    if (!ok)
+        selfCheckFailures++;
     return ok;
 }
 
@@ -136,14 +223,116 @@ runStaticLint()
             auto rep = analysis::checkPersistency(inst);
             bool bad = !rep.clean() ||
                        rep.count(analysis::Severity::warning) > 0;
-            if (bad || verbose)
-                std::printf("%s/%s", mod.name.c_str(),
-                            rep.toString(inst).c_str());
+            emitReport(mod.name, inst, rep, bad);
             ok = ok && !bad;
         }
     }
-    std::printf("static lint: %zu functions, %s\n", functions,
-                ok ? "ok" : "FAILED");
+    if (!jsonOut)
+        std::printf("static lint: %zu functions, %s\n", functions,
+                    ok ? "ok" : "FAILED");
+    return ok;
+}
+
+/** Each seeded reexec module must yield its expected finding; the
+    clean module must be silent under both interprocedural audits. */
+bool
+runReexecSelfCheck()
+{
+    bool ok = true;
+    for (const auto& fix : analysis::seededReexecFixtures()) {
+        cir::ModuleSummaries sums(fix.mod.functions);
+        const cir::Function* tx = nullptr;
+        for (const auto& fn : fix.mod.functions)
+            if (fn.name() == fix.txFunction)
+                tx = &fn;
+        if (!tx) {
+            std::printf("FAIL %s: tx function '%s' missing\n",
+                        fix.mod.name.c_str(),
+                        fix.txFunction.c_str());
+            ok = false;
+            continue;
+        }
+        auto rep = analysis::checkReexecSafety(*tx, sums);
+        if (!rep.has(fix.expected)) {
+            std::printf("FAIL %s: seeded %s not flagged\n",
+                        tx->name().c_str(),
+                        analysis::checkKindName(fix.expected));
+            ok = false;
+        } else if (verbose && !jsonOut) {
+            std::printf("%s", rep.toString(*tx).c_str());
+        }
+    }
+    cir::IrModule clean = analysis::buildReexecCleanModule();
+    cir::ModuleSummaries sums(clean.functions);
+    for (const auto& fn : clean.functions) {
+        auto rep = analysis::checkReexecSafety(fn, sums);
+        auto prep = analysis::checkPersistency(fn, &sums);
+        if (!rep.violations.empty() || !prep.clean()) {
+            std::printf(
+                "FAIL %s: false positive on clean module\n%s%s",
+                fn.name().c_str(), rep.toString(fn).c_str(),
+                prep.toString(fn).c_str());
+            ok = false;
+        }
+    }
+    if (!jsonOut)
+        std::printf("reexec self-check: %s\n", ok ? "ok" : "FAILED");
+    if (!ok)
+        selfCheckFailures++;
+    return ok;
+}
+
+/** Interprocedural corpus gate: benchmark modules (instrumented, as
+    the compiler would emit them) and the pre-instrumented runtime tx
+    module must carry zero error findings under the summary-aware
+    persistency audit and the reexec verifier. */
+bool
+runReexecLint()
+{
+    bool ok = true;
+    size_t functions = 0;
+
+    auto modules = cir::benchmarkModules();
+    for (auto& mod : modules) {
+        cir::ModuleSummaries sums(mod.functions);
+        for (const auto& fn : mod.functions) {
+            functions++;
+            cir::ClobberResult res = cir::analyzeClobbers(fn, sums);
+            cir::Function inst =
+                analysis::instrumentPersistency(fn, res);
+            auto rep = analysis::checkPersistency(inst, &sums);
+            auto rrep = analysis::checkReexecSafety(inst, sums);
+            rep.violations.insert(rep.violations.end(),
+                                  rrep.violations.begin(),
+                                  rrep.violations.end());
+            rep.callsChecked += rrep.callsChecked;
+            bool bad = !rep.clean() ||
+                       rep.count(analysis::Severity::warning) > 0;
+            emitReport(mod.name, inst, rep, bad);
+            ok = ok && !bad;
+        }
+    }
+
+    // The runtime tx corpus ships instrumented; check it as-is.
+    cir::IrModule rt = cir::runtimeTxModule();
+    cir::ModuleSummaries sums(rt.functions);
+    for (const auto& fn : rt.functions) {
+        functions++;
+        auto rep = analysis::checkPersistency(fn, &sums);
+        auto rrep = analysis::checkReexecSafety(fn, sums);
+        rep.violations.insert(rep.violations.end(),
+                              rrep.violations.begin(),
+                              rrep.violations.end());
+        rep.callsChecked += rrep.callsChecked;
+        bool bad = !rep.clean() ||
+                   rep.count(analysis::Severity::warning) > 0;
+        emitReport(rt.name, fn, rep, bad);
+        ok = ok && !bad;
+    }
+
+    if (!jsonOut)
+        std::printf("reexec lint: %zu functions, %s\n", functions,
+                    ok ? "ok" : "FAILED");
     return ok;
 }
 
@@ -218,27 +407,15 @@ runDynamicSelfCheck()
     bool ok = validator.violations().size() == 1 &&
               validator.violations()[0].dirtyLines == 1;
     std::printf("dynamic self-check: %s\n", ok ? "ok" : "FAILED");
+    if (!ok)
+        selfCheckFailures++;
     return ok;
 }
 
-}  // namespace
-
-int
-main(int argc, char** argv)
+bool
+runDynamic()
 {
-    for (int i = 1; i < argc; i++) {
-        if (std::strcmp(argv[i], "-v") == 0) {
-            verbose = true;
-        } else {
-            std::fprintf(stderr, "usage: %s [-v]\n", argv[0]);
-            return 2;
-        }
-    }
-
-    bool ok = runFixtureSelfCheck();
-    ok = runStaticLint() && ok;
-    ok = runDynamicSelfCheck() && ok;
-
+    bool ok = runDynamicSelfCheck();
     static const std::pair<txn::RuntimeKind, const char*> kKinds[] = {
         {txn::RuntimeKind::noLog, "nolog"},
         {txn::RuntimeKind::undo, "pmdk"},
@@ -249,7 +426,116 @@ main(int argc, char** argv)
     };
     for (const auto& [kind, name] : kKinds)
         ok = runDynamicValidation(kind, name) && ok;
+    return ok;
+}
 
-    std::printf("cnvm_lint: %s\n", ok ? "PASS" : "FAIL");
-    return ok ? 0 : 1;
+void
+printList()
+{
+    std::printf("persist fixtures:\n");
+    for (const auto& [fn, expected] :
+         analysis::seededViolationFixtures())
+        std::printf("  %-28s expects %s\n", fn.name().c_str(),
+                    analysis::checkKindName(expected));
+    std::printf("  %-28s expects (clean)\n",
+                analysis::buildCleanFixture().name().c_str());
+    std::printf("reexec fixtures:\n");
+    for (const auto& fix : analysis::seededReexecFixtures())
+        std::printf("  %s/%-28s expects %s\n", fix.mod.name.c_str(),
+                    fix.txFunction.c_str(),
+                    analysis::checkKindName(fix.expected));
+    cir::IrModule clean = analysis::buildReexecCleanModule();
+    for (const auto& fn : clean.functions)
+        std::printf("  %s/%-28s expects (clean)\n",
+                    clean.name.c_str(), fn.name().c_str());
+    std::printf("corpus:\n");
+    for (const auto& mod : cir::benchmarkModules())
+        for (const auto& fn : mod.functions)
+            std::printf("  %s/%s\n", mod.name.c_str(),
+                        fn.name().c_str());
+    cir::IrModule rt = cir::runtimeTxModule();
+    for (const auto& fn : rt.functions)
+        std::printf("  %s/%s\n", rt.name.c_str(),
+                    fn.name().c_str());
+}
+
+int
+usage(const char* prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [persist|reexec|dynamic|all] [-v] "
+                 "[--json] [--werror] [--list]\n",
+                 prog);
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string mode = "all";
+    bool modeSet = false;
+    bool json = false, werror = false, list = false;
+    for (int i = 1; i < argc; i++) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "-v") == 0) {
+            verbose = true;
+        } else if (std::strcmp(a, "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(a, "--werror") == 0) {
+            werror = true;
+        } else if (std::strcmp(a, "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(a, "persist") == 0 ||
+                   std::strcmp(a, "reexec") == 0 ||
+                   std::strcmp(a, "dynamic") == 0 ||
+                   std::strcmp(a, "all") == 0) {
+            if (modeSet)
+                return usage(argv[0]);
+            mode = a;
+            modeSet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (list) {
+        printList();
+        return 0;
+    }
+    // JSON output covers the static pipelines only.
+    if (json && mode != "persist" && mode != "reexec")
+        return usage(argv[0]);
+
+    std::string findings;
+    if (json)
+        jsonOut = &findings;
+
+    bool ok = true;
+    if (mode == "persist" || mode == "all") {
+        ok = runFixtureSelfCheck() && ok;
+        ok = runStaticLint() && ok;
+    }
+    if (mode == "reexec" || mode == "all") {
+        ok = runReexecSelfCheck() && ok;
+        ok = runReexecLint() && ok;
+    }
+    if (mode == "dynamic" || mode == "all")
+        ok = runDynamic() && ok;
+
+    bool fail = !ok || errorFindings > 0 ||
+                (werror && warningFindings > 0) ||
+                selfCheckFailures > 0;
+    if (json) {
+        std::printf("{\n  \"mode\": \"%s\",\n  \"functions\": [%s"
+                    "\n  ],\n  \"errors\": %d,\n  \"warnings\": %d,"
+                    "\n  \"selfCheckFailures\": %d,\n  \"status\": "
+                    "\"%s\"\n}\n",
+                    mode.c_str(), findings.c_str(), errorFindings,
+                    warningFindings, selfCheckFailures,
+                    fail ? "FAIL" : "PASS");
+    } else {
+        std::printf("cnvm_lint: %s\n", fail ? "FAIL" : "PASS");
+    }
+    return fail ? 1 : 0;
 }
