@@ -75,6 +75,8 @@ struct Row {
     double opsPerSec = 0;
     double fencesPerTx = 0;   // threads==1 only, else 0
     double entriesPerTx = 0;  // threads==1 only, else 0
+    double flushesPerTx = 0;  // log-writer flushes (threads==1 only)
+    double logBytesPerTx = 0; // appended log bytes (threads==1 only)
 };
 
 double
@@ -262,6 +264,8 @@ runMicroSeries(txn::RuntimeKind kind, const std::string& op,
         double txs = static_cast<double>(txPerThread);
         r.fencesPerTx = delta[stats::Counter::fences] / txs;
         r.entriesPerTx = static_cast<double>(logEntries(delta)) / txs;
+        r.flushesPerTx = delta[stats::Counter::logFlushes] / txs;
+        r.logBytesPerTx = delta[stats::Counter::logBytes] / txs;
     }
     return r;
 }
@@ -295,6 +299,8 @@ runE2eHashmap(txn::RuntimeKind kind, size_t inserts)
     if (txs > 0) {
         r.fencesPerTx = delta[stats::Counter::fences] / txs;
         r.entriesPerTx = static_cast<double>(logEntries(delta)) / txs;
+        r.flushesPerTx = delta[stats::Counter::logFlushes] / txs;
+        r.logBytesPerTx = delta[stats::Counter::logBytes] / txs;
     }
     return r;
 }
@@ -343,9 +349,12 @@ main(int argc, char** argv)
             f,
             "    {\"op\": \"%s\", \"system\": \"%s\", \"threads\": "
             "%u, \"ops_per_sec\": %.0f, \"fences_per_tx\": %.2f, "
-            "\"log_entries_per_tx\": %.2f}%s\n",
+            "\"log_entries_per_tx\": %.2f, "
+            "\"log_flushes_per_tx\": %.2f, "
+            "\"log_bytes_per_tx\": %.0f}%s\n",
             r.op.c_str(), r.system.c_str(), r.threads, r.opsPerSec,
-            r.fencesPerTx, r.entriesPerTx,
+            r.fencesPerTx, r.entriesPerTx, r.flushesPerTx,
+            r.logBytesPerTx,
             i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -353,9 +362,10 @@ main(int argc, char** argv)
 
     for (const auto& r : rows) {
         std::printf("%-12s %-12s threads=%u  %8.2f Mops/s  "
-                    "fences/tx=%.1f entries/tx=%.1f\n",
+                    "fences/tx=%.1f entries/tx=%.1f flushes/tx=%.1f\n",
                     r.op.c_str(), r.system.c_str(), r.threads,
-                    r.opsPerSec / 1e6, r.fencesPerTx, r.entriesPerTx);
+                    r.opsPerSec / 1e6, r.fencesPerTx, r.entriesPerTx,
+                    r.flushesPerTx);
     }
     return 0;
 }

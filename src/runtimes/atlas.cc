@@ -28,7 +28,11 @@ AtlasRuntime::appendLockRecord(unsigned tid, uint64_t code)
     // undo entry's own required fence drains this flush first. A torn
     // marker with a durable successor entry is impossible for the same
     // reason — the successor's fence would have retired this line (see
-    // DESIGN.md §12).
+    // DESIGN.md §12). Under the eliding log writers no such fence
+    // exists, but the undo-family declared-salvage rule covers Atlas
+    // too (rollbackSlot never claims a clean roll-back then), and the
+    // zerocached staging window is strictly FIFO, so markers keep
+    // their position relative to undo entries on media.
     appendLogEntry(tid, kMarkerOff, &code, sizeof(code),
                    LogFence::deferred);
     stats::bump(stats::Counter::lockLogEntries);

@@ -13,10 +13,19 @@ namespace cnvm::rt {
 using salvage::alignUp8;
 
 RuntimeBase::RuntimeBase(nvm::Pool& pool, alloc::PmAllocator& heap)
-    : pool_(pool), heap_(heap), slots_(pool.maxThreads())
+    : pool_(pool), heap_(heap), slots_(pool.maxThreads()),
+      logWriter_(makeLogWriter(logWriterKindFromEnv(), pool))
 {
     CNVM_CHECK(pool.slotBytes() > logAreaOffset() + 4096,
                "pool slots too small for descriptor + log area");
+}
+
+void
+RuntimeBase::setLogWriter(LogWriterKind kind)
+{
+    for (const SlotState& s : slots_)
+        CNVM_CHECK(!s.inTx, "cannot swap log writers mid-transaction");
+    logWriter_ = makeLogWriter(kind, pool_);
 }
 
 TxDescriptor&
@@ -101,21 +110,24 @@ RuntimeBase::appendLogEntry(unsigned tid, uint64_t targetOff,
     SlotState& s = slot(tid);
     size_t need = sizeof(LogEntryHeader) + alignUp8(len);
     if (s.logTail + need > logCapacity())
-        fatal("transaction log overflow: transaction too large for "
-              "the per-thread log area");
+        throw txn::LogOverflowError(s.logTail + need, logCapacity());
     LogEntryHeader h{};
     h.targetOff = targetOff;
     h.len = len;
     h.seqLo = static_cast<uint32_t>(desc(tid).txSeq);
     h.checksum =
         salvage::entryChecksum(h, static_cast<const uint8_t*>(payload));
-    uint8_t* dst = logArea(tid) + s.logTail;
-    pool_.write(dst, &h, sizeof(h));
-    pool_.write(dst + sizeof(h), payload, len);
-    pool_.flush(dst, need);
-    if (fence == LogFence::required)
-        pool_.fence();
+    logWriter_->append(tid, logArea(tid), s.logTail, need, h, payload,
+                       fence);
     s.logTail += need;
+    stats::bump(stats::Counter::logEntries);
+    stats::bump(stats::Counter::logBytes, need);
+}
+
+void
+RuntimeBase::sealLog(unsigned tid)
+{
+    logWriter_->sealForFence(tid, logArea(tid), slot(tid).logTail);
 }
 
 const std::vector<ScannedEntry>&
@@ -381,16 +393,15 @@ RuntimeBase::liveIntentsGuarded(unsigned tid)
 }
 
 void
-RuntimeBase::salvageResetSlot(unsigned tid)
+RuntimeBase::abandonSlot(unsigned tid)
 {
-    // The slot is being abandoned because some of its lines are
-    // poisoned, flipped or unparseable. Rebuild the whole descriptor
-    // rather than patching fields: the full rewrite clears every
-    // stale field *and* heals the media (fresh stores make the lines
-    // trustworthy again), so the next recovery pass sees a clean idle
-    // slot instead of re-declaring the same damage forever. txSeq
-    // survives — bumped, so surviving log entries of the abandoned
-    // transaction can never validate again.
+    // Rebuild the whole descriptor rather than patching fields: the
+    // full rewrite clears every stale field *and* heals the media
+    // (fresh stores make the lines trustworthy again), so the next
+    // recovery pass sees a clean idle slot instead of re-declaring
+    // the same damage forever. txSeq survives — bumped, so surviving
+    // log entries of the abandoned transaction can never validate
+    // again.
     TxDescriptor& d = desc(tid);
     TxDescriptor clean{};
     std::memcpy(&clean.txSeq, &d.txSeq, sizeof(clean.txSeq));
@@ -398,7 +409,53 @@ RuntimeBase::salvageResetSlot(unsigned tid)
     clean.status = static_cast<uint64_t>(TxStatus::idle);
     pool_.write(&d, &clean, sizeof(clean));
     pool_.persist(&d, sizeof(clean));
+}
+
+void
+RuntimeBase::salvageResetSlot(unsigned tid)
+{
+    // The slot is being abandoned because some of its lines are
+    // poisoned, flipped or unparseable.
+    abandonSlot(tid);
     stats::bump(stats::Counter::salvageAborts);
+}
+
+void
+RuntimeBase::txAbort(unsigned tid)
+{
+    SlotState& s = slot(tid);
+    if (!s.inTx)
+        return;
+    if (s.begunPersist) {
+        // Roll the in-place writes back from the log, in reverse
+        // (for clobber-family runtimes this restores the clobbered
+        // inputs only; blind stores to pre-existing blocks stay, the
+        // same caveat their recovery documents). Staged entries must
+        // reach the log area first or the scan cannot see them.
+        sealLog(tid);
+        const auto& entries = scanLog(tid);
+        for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+            if (it->targetOff == kMarkerOff)
+                continue;
+            pool_.writeAt(it->targetOff, it->data, it->len);
+            pool_.flush(pool_.at(it->targetOff), it->len);
+        }
+        pool_.fence();
+        // An intent table only persists inside txCommit, after every
+        // append — it cannot be live here unless a protocol grows an
+        // early-persist path; revert it if it is.
+        recoverIntents(tid, /* committed */ false);
+    }
+    // Un-reserve this transaction's allocations (volatile only: their
+    // bitmap bits are not set until commit).
+    for (const auto& [off, isFree] : s.actions) {
+        if (!isFree)
+            heap_.releaseReservation(off);
+    }
+    if (s.begunPersist)
+        abandonSlot(tid);
+    s.inTx = false;
+    s.resetTx();
 }
 
 bool

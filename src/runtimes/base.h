@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -17,26 +18,11 @@
 #include "common/epoch_set.h"
 #include "nvm/pool.h"
 #include "runtimes/descriptor.h"
+#include "runtimes/log_writer.h"
 #include "runtimes/salvage.h"
 #include "txn/runtime.h"
 
 namespace cnvm::rt {
-
-/**
- * Durability-ordering requirement of a log entry append.
- *
- * `required` flushes and fences: the entry is durable before the caller
- * executes anything that could tear independently of it (an undo image
- * must beat its in-place write to the media). `deferred` only flushes;
- * the flush is retired by the *next* fence the slot issues — sound for
- * entries whose loss is harmless until a later durable point (redo
- * entries before the commit record, Atlas marker records: see
- * DESIGN.md §12 for the torn-line argument).
- */
-enum class LogFence {
-    required,
-    deferred,
-};
 
 class RuntimeBase : public txn::Runtime {
  public:
@@ -54,9 +40,20 @@ class RuntimeBase : public txn::Runtime {
      */
     void setEagerBeginPersist(bool on) { eagerBegin_ = on; }
 
+    /**
+     * Swap the log-append engine (see log_writer.h). The default is
+     * CNVM_LOG_WRITER (baseline when unset). Must not be called with
+     * a transaction in flight on any slot: the new writer's staging
+     * state re-anchors lazily per slot, but entries already staged by
+     * the old writer would be lost.
+     */
+    void setLogWriter(LogWriterKind kind);
+    LogWriterKind logWriterKind() const { return logWriter_->kind(); }
+
     void initZero(unsigned tid, void* dst, size_t n) override;
     uint64_t alloc(unsigned tid, size_t n) override;
     void dealloc(unsigned tid, uint64_t payloadOff) override;
+    void txAbort(unsigned tid) override;
 
  protected:
     /** Volatile per-slot transaction state. */
@@ -174,12 +171,35 @@ class RuntimeBase : public txn::Runtime {
 
     /**
      * Append a self-validating log entry carrying `len` bytes of
-     * `payload` attributed to `targetOff`. Flushes the entry; fences
-     * iff `fence == LogFence::required`.
+     * `payload` attributed to `targetOff`, through the active log
+     * writer. The baseline writer flushes the entry and fences iff
+     * `fence == LogFence::required`; the zero/zerocached writers
+     * elide the fence (and zerocached defers even the NVM write
+     * until a staging line fills or sealLog runs). Throws
+     * txn::LogOverflowError when the entry does not fit the slot's
+     * log area (nothing is written in that case).
      */
     void appendLogEntry(unsigned tid, uint64_t targetOff,
                         const void* payload, uint32_t len,
                         LogFence fence);
+
+    /**
+     * Write out + flush any log bytes the active writer still stages
+     * in DRAM for slot `tid` (no fence — the caller's next fence
+     * retires them). Commit paths call this before their first data
+     * fence; any path about to scanLog() an in-flight transaction's
+     * area must call it first or staged entries are invisible.
+     */
+    void sealLog(unsigned tid);
+
+    /** True when the active writer never fences required appends:
+     *  recovery of an interrupted transaction must declare a salvage
+     *  abort instead of claiming a clean roll-back (DESIGN.md §15). */
+    bool
+    logWriterElides() const
+    {
+        return logWriter_->elidesRequiredFence();
+    }
 
     /**
      * All valid entries of the slot's current transaction, in order,
@@ -299,6 +319,14 @@ class RuntimeBase : public txn::Runtime {
     int liveIntentsGuarded(unsigned tid);
 
     /**
+     * Rewrite the slot's descriptor as clean idle with txSeq bumped
+     * (so surviving log entries can never validate again). Shared by
+     * the salvage path and the voluntary abort path; counts neither
+     * a commit nor a salvage abort.
+     */
+    void abandonSlot(unsigned tid);
+
+    /**
      * Abandon a slot's transaction after salvage: invalidate the
      * intent table and the begin record, persist idle. Unlike
      * persistIdle this does not count a commit.
@@ -372,6 +400,9 @@ class RuntimeBase : public txn::Runtime {
     alloc::PmAllocator& heap_;
     std::vector<SlotState> slots_;
     bool eagerBegin_ = false;
+    /** Active log-append engine (never null; CNVM_LOG_WRITER picks
+     *  the initial one at construction). */
+    std::unique_ptr<LogWriter> logWriter_;
 };
 
 }  // namespace cnvm::rt

@@ -57,9 +57,11 @@ ClobberRuntime::appendClobberEntry(unsigned tid, void* dst, size_t n)
     // logged itself. A block is pristine when it first enters the
     // log (the READ bit requires a load before any store to the
     // block), so the widened image is the true pre-state. The fence
-    // is non-negotiable: the clobbered line can tear independently of
-    // the log line, so the entry must be durable before the in-place
-    // write executes.
+    // matters: the clobbered line can tear independently of the log
+    // line, so the entry should be durable before the in-place write
+    // executes. Under the zero/zerocached writers it is elided and
+    // recover() compensates by declaring the interrupted transaction
+    // salvage-aborted instead of re-executing it.
     uint64_t off = pool_.offsetOf(dst);
     uint64_t lo = off & ~(kBlock - 1);
     uint64_t hi = (off + n + kBlock - 1) & ~(kBlock - 1);
@@ -117,6 +119,9 @@ ClobberRuntime::txCommit(unsigned tid)
         stats::bump(stats::Counter::txCommits);
         return;
     }
+    // Staged log bytes (zerocached writer) must hit the media before
+    // the data fence: see UndoRuntime::txCommit.
+    sealLog(tid);
     persistIntentsAndAllocs(tid);
     flushDirty(tid);
     pool_.fence();
@@ -216,15 +221,27 @@ ClobberRuntime::recover()
         }
         if (isOngoing(tid)) {
             salvage::ScanStats st = restoreSlot(tid);
-            if (st.damaged()) {
+            if (st.damaged() || logWriterElides()) {
+                // Damaged log — or an eliding writer, under which a
+                // lost trailing clobber entry looks exactly like a
+                // clean log end while its in-place write survived.
+                // Re-executing would feed the txfunc those unrestored
+                // inputs and commit garbage on top; restore what
+                // validated and declare the abort instead.
                 salvageResetSlot(tid);
                 txn::SlotRecovery sr;
                 sr.tid = tid;
                 sr.action = txn::SlotAction::salvageAborted;
                 sr.entriesApplied = st.entries;
                 sr.entriesDropped = st.droppedEntries;
-                sr.note = st.sawPoison ? "clobber log poisoned"
-                                       : "clobber log corrupted mid-log";
+                if (st.damaged()) {
+                    sr.note = st.sawPoison
+                                  ? "clobber log poisoned"
+                                  : "clobber log corrupted mid-log";
+                } else {
+                    sr.note = "zero-fence log writer: inputs not "
+                              "provably restored, not re-executed";
+                }
                 recordSlot(std::move(sr));
             } else {
                 interrupted.push_back(tid);
@@ -248,6 +265,11 @@ ClobberRuntime::recover()
             // A guarded input load hit a poisoned line mid-txfunc
             // (CrashInjected propagates: that is the torture harness
             // tearing the pool, not a media fault).
+            abortReexecution(tid, e.what());
+        } catch (const txn::LogOverflowError& e) {
+            // The interrupted transaction crashed before its own
+            // overflow point; the full re-execution hit it. Same
+            // resolution as a voluntary abort: restore and abandon.
             abortReexecution(tid, e.what());
         } catch (const alloc::CorruptBlockError& e) {
             // Commit-time intent persist tripped on a block whose

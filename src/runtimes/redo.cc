@@ -141,7 +141,10 @@ RedoRuntime::txCommit(unsigned tid)
         stats::bump(stats::Counter::txCommits);
         return;
     }
-    // 1. Drain the lazy log flushes.
+    // 1. Drain the lazy log flushes (writing out anything the
+    //    zerocached writer still stages first — the commit record
+    //    must never become durable ahead of a log entry).
+    sealLog(tid);
     pool_.fence();
     // 2. Persist the intent table, apply alloc bits.
     persistIntentsAndAllocs(tid);
@@ -160,6 +163,25 @@ RedoRuntime::txCommit(unsigned tid)
     persistIdle(tid);
     map.clear();
     s.inTx = false;
+}
+
+void
+RedoRuntime::txAbort(unsigned tid)
+{
+    SlotState& s = slot(tid);
+    if (!s.inTx)
+        return;
+    // Nothing was written in place and no commit record exists:
+    // dropping the volatile write set is the whole abort. The log
+    // entries already appended go stale at the next begin's sequence
+    // bump (and recovery ignores them — the slot's status is idle).
+    writeMaps_[tid].clear();
+    for (const auto& [off, isFree] : s.actions) {
+        if (!isFree)
+            heap_.releaseReservation(off);
+    }
+    s.inTx = false;
+    s.resetTx();
 }
 
 txn::RecoveryReport

@@ -36,6 +36,8 @@ class RedoRuntime : public RuntimeBase {
     void initZero(unsigned tid, void* dst, size_t n) override;
     void load(unsigned tid, void* dst, const void* src,
               size_t n) override;
+    /** Abort = drop the volatile write set (nothing was in place). */
+    void txAbort(unsigned tid) override;
     txn::RecoveryReport recover() override;
 
  private:

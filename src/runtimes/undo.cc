@@ -32,7 +32,9 @@ UndoRuntime::maybeUndoLog(unsigned tid, void* dst, size_t n)
     }
     if (needLog) {
         // The undo image must be durable before the in-place write can
-        // tear: per-entry fence required.
+        // tear: per-entry fence required. (The zero/zerocached log
+        // writers elide this fence and recovery compensates with a
+        // declared salvage abort — see rollbackSlot.)
         appendLogEntry(tid, pool_.offsetOf(dst), dst,
                        static_cast<uint32_t>(n), LogFence::required);
         stats::bump(stats::Counter::undoEntries);
@@ -68,6 +70,12 @@ UndoRuntime::txCommit(unsigned tid)
         stats::bump(stats::Counter::txCommits);
         return;
     }
+    // Staged log bytes (zerocached writer) must be on media and
+    // flushed before the data fence below: once any in-place write is
+    // durable while the slot is still ongoing, recovery depends on
+    // the full undo log being there. The commit fence retires the
+    // seal's flushes together with the write-back.
+    sealLog(tid);
     persistIntentsAndAllocs(tid);
     flushDirty(tid);
     pool_.fence();
@@ -95,14 +103,24 @@ UndoRuntime::rollbackSlot(unsigned tid)
     sr.tid = tid;
     sr.entriesApplied = applied;
     sr.entriesDropped = st.droppedEntries;
-    if (st.damaged()) {
-        // Some pre-images were unrecoverable: the roll-back restored
-        // every value that still validated, but the transaction's
-        // footprint cannot be fully reverted. Abandon it, visibly.
+    if (st.damaged() || logWriterElides()) {
+        // Some pre-images were unrecoverable — or an eliding log
+        // writer was active, in which case an in-place write can have
+        // outlived its (unfenced) undo entry and the log's clean end
+        // proves nothing: a fully-torn trailing entry is
+        // indistinguishable from one never appended. Either way the
+        // roll-back restored every value that still validated, but a
+        // full revert cannot be promised. Abandon the transaction,
+        // visibly.
         salvageResetSlot(tid);
         sr.action = txn::SlotAction::salvageAborted;
-        sr.note = st.sawPoison ? "undo log poisoned"
-                               : "undo log corrupted mid-log";
+        if (st.damaged()) {
+            sr.note = st.sawPoison ? "undo log poisoned"
+                                   : "undo log corrupted mid-log";
+        } else {
+            sr.note = "zero-fence log writer: roll-back is "
+                      "best-effort";
+        }
     } else {
         persistIdle(tid);
         sr.action = txn::SlotAction::rolledBack;

@@ -48,6 +48,9 @@ counterName(Counter c)
       case Counter::idoBytes: return "ido_bytes";
       case Counter::lockLogEntries: return "lock_log_entries";
       case Counter::depRecords: return "dep_records";
+      case Counter::logEntries: return "log_entries";
+      case Counter::logBytes: return "log_bytes";
+      case Counter::logFlushes: return "log_flushes";
       case Counter::allocs: return "allocs";
       case Counter::frees: return "frees";
       case Counter::recoveries: return "recoveries";

@@ -40,6 +40,11 @@ enum class Counter : unsigned {
     idoBytes,
     lockLogEntries,   ///< Atlas lock acquire/release log records
     depRecords,       ///< Atlas cross-FASE dependency records
+    logEntries,       ///< log appends through RuntimeBase (any protocol)
+    logBytes,         ///< log-area bytes those appends consumed
+    logFlushes,       ///< flush operations issued for log bytes
+                      ///  (per entry for write-through writers, per
+                      ///  staging-window copy-out for zerocached)
     allocs,
     frees,
     recoveries,       ///< transactions repaired at recovery

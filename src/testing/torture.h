@@ -153,6 +153,15 @@ struct SweepResult {
     uint64_t attempts = 0;   ///< armed operations executed
     uint64_t crashes = 0;    ///< traps that fired
     uint64_t commits = 0;    ///< operations that ended committed
+    /** Crashes whose recovery *declared* salvage aborts. The shadow
+     *  oracle stops binding for that image (same contract the media
+     *  sweep honors); the sweep audits quarantine integrity, then
+     *  rebuilds the rig from the committed history so later attempts
+     *  are audited strictly again. Plain tears never declare under
+     *  the fencing baseline log writer — this counts only media
+     *  damage and the eliding (zero-fence) writers' best-effort
+     *  roll-backs. */
+    uint64_t declaredAborts = 0;
     uint64_t maxEventIndex = 0;
     std::string failure;     ///< first violation (empty if none)
     std::string summary(txn::RuntimeKind kind,

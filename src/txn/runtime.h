@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 
 #include "txn/recovery_report.h"
 
@@ -32,6 +33,34 @@ namespace cnvm::txn {
 
 /** Stable identifier of a registered transaction function. */
 using FuncId = uint32_t;
+
+/**
+ * Thrown by a runtime's log append when the transaction outgrows its
+ * per-thread log area. Recoverable: txn::run catches it, aborts just
+ * the offending transaction through Runtime::txAbort (rolling back
+ * its in-place writes and releasing its reservations), and rethrows
+ * so the caller learns the transaction did not happen. The slot is
+ * reusable immediately afterwards.
+ */
+class LogOverflowError : public std::runtime_error {
+ public:
+    LogOverflowError(size_t needBytes, size_t capacityBytes)
+        : std::runtime_error(
+              "transaction log overflow: transaction too large for "
+              "the per-thread log area"),
+          need_(needBytes), capacity_(capacityBytes)
+    {
+    }
+
+    /** Log bytes the transaction would have needed. */
+    size_t need() const { return need_; }
+    /** The slot's log-area capacity. */
+    size_t capacity() const { return capacity_; }
+
+ private:
+    size_t need_;
+    size_t capacity_;
+};
 
 /** Stable identifiers recorded in the pool header. */
 enum class RuntimeKind : uint32_t {
@@ -62,6 +91,17 @@ class Runtime {
 
     /** Commit the transaction on slot `tid`. */
     virtual void txCommit(unsigned tid) = 0;
+
+    /**
+     * Abort the uncommitted transaction on slot `tid`: undo its
+     * in-place writes (to the protocol's ability — clobber-family
+     * runtimes cannot revert blind stores to pre-existing blocks,
+     * the same caveat their recovery documents), release its
+     * allocation reservations, and return the slot to idle. No-op
+     * when no transaction is in flight. Called by txn::run on
+     * LogOverflowError; not a general user-facing abort API.
+     */
+    virtual void txAbort(unsigned /* tid */) {}
 
     /** The argument blob the txfunc should read (see args.h). */
     virtual std::span<const uint8_t> argBlob(unsigned tid) const = 0;

@@ -29,8 +29,18 @@ run(Engine& eng, FuncId fid, const Args&... args)
     eng.rt.txBegin(tid, fid, w.bytes());
     Tx tx(eng.rt, tid);
     ArgReader r(eng.rt.argBlob(tid));
-    lookupTxFunc(fid)(tx, r);
-    eng.rt.txCommit(tid);
+    try {
+        lookupTxFunc(fid)(tx, r);
+        eng.rt.txCommit(tid);
+    } catch (const LogOverflowError&) {
+        // Overflow is per-transaction, not fatal: roll this
+        // transaction back and rethrow so the caller learns it did
+        // not happen. Everything else (CrashInjected, media faults)
+        // propagates untouched — the torture harness and recovery
+        // own those.
+        eng.rt.txAbort(tid);
+        throw;
+    }
     if (eng.commitObserver) [[unlikely]]
         eng.commitObserver->afterCommit(tid);
 }
