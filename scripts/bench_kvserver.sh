@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Rebuild and run the KV-server serving-stack benchmark, merging the
+# result into BENCH_kvserver.json at the repo root under a label.
+#
+# usage: scripts/bench_kvserver.sh [label]
+#
+# The default label is "current". One run sweeps the full matrix
+# internally (protocol x workers x batch cap x mix over a loopback
+# TCP connection), so batch=1 rows are the group-commit ablation
+# baseline for the batch=8 rows of the same run.
+#
+# Knobs (env): CNVM_OPS (ops per configuration, default 60000),
+# CNVM_POOL_MB, BUILD_DIR (default build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+LABEL="${1:-current}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target micro_kvserver -j "$(nproc)"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+"$BUILD_DIR/bench/micro_kvserver" "$TMP"
+
+python3 - "$TMP" "$LABEL" <<'EOF'
+import json, os, sys
+
+run_path, label = sys.argv[1], sys.argv[2]
+out = "BENCH_kvserver.json"
+doc = {}
+if os.path.exists(out):
+    with open(out) as f:
+        doc = json.load(f)
+with open(run_path) as f:
+    doc[label] = json.load(f)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+EOF
+echo "updated $(pwd)/BENCH_kvserver.json (label: $LABEL)"

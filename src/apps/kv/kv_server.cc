@@ -1,9 +1,11 @@
 #include "apps/kv/kv_server.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.h"
 #include "common/rand.h"
+#include "runtimes/descriptor.h"
 #include "txn/txrun.h"
 
 namespace cnvm::apps {
@@ -47,14 +49,16 @@ makeItem(txn::Tx& tx, std::string_view key, std::string_view val,
     return it;
 }
 
+/**
+ * Replace (or insert) the item under `key`. Shared by the set txfunc,
+ * the cas txfunc (which passes the expected version through) and the
+ * batch txfunc, so single-op and group-commit paths execute identical
+ * structure code.
+ */
 void
-kvSetFn(txn::Tx& tx, txn::ArgReader& a)
+doSet(txn::Tx& tx, nvm::PPtr<PKvStore> root, std::string_view key,
+      std::string_view val, uint32_t flags)
 {
-    auto root = nvm::PPtr<PKvStore>(a.get<uint64_t>());
-    auto key = a.getString();
-    auto val = a.getString();
-    auto flags = a.get<uint32_t>();
-
     auto& head = root->buckets()[bucketIndex(tx, root, key)];
     auto prev = nvm::PPtr<KvItem>();
     for (auto it = tx.ld(head); !it.isNull();
@@ -83,12 +87,87 @@ kvSetFn(txn::Tx& tx, txn::ArgReader& a)
     tx.st(head, fresh);
 }
 
+MutResult
+doDel(txn::Tx& tx, nvm::PPtr<PKvStore> root, std::string_view key)
+{
+    auto& head = root->buckets()[bucketIndex(tx, root, key)];
+    auto prev = nvm::PPtr<KvItem>();
+    for (auto it = tx.ld(head); !it.isNull();
+         prev = it, it = tx.ld(it->next)) {
+        if (!keyEquals(tx, it, key))
+            continue;
+        auto next = tx.ld(it->next);
+        if (prev.isNull())
+            tx.st(head, next);
+        else
+            tx.st(prev->next, next);
+        tx.pfree(it);
+        return MutResult::deleted;
+    }
+    return MutResult::notFound;
+}
+
+/**
+ * Compare-and-store: the version check happens inside the
+ * transaction, so the paper's CAS semantics hold under both normal
+ * execution and recovery re-execution (the re-run sees the same
+ * pre-transaction version the original run saw, because the original
+ * run's effects were rolled back / never made durable).
+ */
+MutResult
+doCas(txn::Tx& tx, nvm::PPtr<PKvStore> root, std::string_view key,
+      std::string_view val, uint32_t flags, uint32_t expectedVersion)
+{
+    auto& head = root->buckets()[bucketIndex(tx, root, key)];
+    auto prev = nvm::PPtr<KvItem>();
+    for (auto it = tx.ld(head); !it.isNull();
+         prev = it, it = tx.ld(it->next)) {
+        if (!keyEquals(tx, it, key))
+            continue;
+        uint32_t version = tx.ld(it->version);
+        if (version != expectedVersion)
+            return MutResult::exists;
+        uint32_t fresh = version + 1;
+        if (tx.ld(it->valLen) == val.size()) {
+            tx.stBytes(it->valBytes(static_cast<uint32_t>(key.size())),
+                       val.data(), val.size());
+            tx.st(it->flags, flags);
+            tx.st(it->version, fresh);
+        } else {
+            auto repl = makeItem(tx, key, val, flags, fresh,
+                                 tx.ld(it->next));
+            if (prev.isNull())
+                tx.st(head, repl);
+            else
+                tx.st(prev->next, repl);
+            tx.pfree(it);
+        }
+        return MutResult::stored;
+    }
+    return MutResult::notFound;
+}
+
+void
+kvSetFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PKvStore>(a.get<uint64_t>());
+    auto key = a.getString();
+    auto val = a.getString();
+    auto flags = a.get<uint32_t>();
+    doSet(tx, root, key, val, flags);
+}
+
 void
 kvGetFn(txn::Tx& tx, txn::ArgReader& a)
 {
     auto root = nvm::PPtr<PKvStore>(a.get<uint64_t>());
     auto key = a.getString();
-    auto* out = reinterpret_cast<ds::LookupResult*>(a.get<uint64_t>());
+    auto* out = reinterpret_cast<KvReadResult*>(a.get<uint64_t>());
+    // Read-only transactions are never re-executed (their begin record
+    // is never persisted), but keep the dangling-pointer guard
+    // anyway: it documents the volatile-out-pointer contract.
+    if (tx.recovering())
+        return;
     out->found = false;
     auto& head = root->buckets()[bucketIndex(tx, root, key)];
     for (auto it = tx.ld(head); !it.isNull(); it = tx.ld(it->next)) {
@@ -96,6 +175,8 @@ kvGetFn(txn::Tx& tx, txn::ArgReader& a)
             continue;
         out->found = true;
         out->len = tx.ld(it->valLen);
+        out->flags = tx.ld(it->flags);
+        out->version = tx.ld(it->version);
         CNVM_CHECK(out->len <= ds::kMaxValLen, "value too long");
         tx.ldBytes(out->value,
                    it->valBytes(static_cast<uint32_t>(key.size())),
@@ -109,30 +190,71 @@ kvDelFn(txn::Tx& tx, txn::ArgReader& a)
 {
     auto root = nvm::PPtr<PKvStore>(a.get<uint64_t>());
     auto key = a.getString();
-    auto* out = reinterpret_cast<bool*>(a.get<uint64_t>());
-    auto& head = root->buckets()[bucketIndex(tx, root, key)];
-    auto prev = nvm::PPtr<KvItem>();
-    for (auto it = tx.ld(head); !it.isNull();
-         prev = it, it = tx.ld(it->next)) {
-        if (!keyEquals(tx, it, key))
-            continue;
-        auto next = tx.ld(it->next);
-        if (prev.isNull())
-            tx.st(head, next);
-        else
-            tx.st(prev->next, next);
-        tx.pfree(it);
-        if (out != nullptr)
-            *out = true;
-        return;
+    auto* out = reinterpret_cast<MutResult*>(a.get<uint64_t>());
+    MutResult r = doDel(tx, root, key);
+    // The out pointer is a stack address of the crashed process during
+    // recovery re-execution — never dereference it then.
+    if (out != nullptr && !tx.recovering())
+        *out = r;
+}
+
+void
+kvCasFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PKvStore>(a.get<uint64_t>());
+    auto key = a.getString();
+    auto val = a.getString();
+    auto flags = a.get<uint32_t>();
+    auto expected = a.get<uint32_t>();
+    auto* out = reinterpret_cast<MutResult*>(a.get<uint64_t>());
+    MutResult r = doCas(tx, root, key, val, flags, expected);
+    if (out != nullptr && !tx.recovering())
+        *out = r;
+}
+
+/**
+ * Group commit body: the serialized batch rides in one length-prefixed
+ * blob (count, then per op: kind, flags, casVersion, key, val), so the
+ * whole batch is one v_log entry and recovery re-executes it as one
+ * unit — all of the batch or none of it is ever durable.
+ */
+void
+kvBatchFn(txn::Tx& tx, txn::ArgReader& a)
+{
+    auto root = nvm::PPtr<PKvStore>(a.get<uint64_t>());
+    auto* results = reinterpret_cast<MutResult*>(a.get<uint64_t>());
+    bool live = !tx.recovering();
+    txn::ArgReader ops(a.getBytes());
+    auto count = ops.get<uint32_t>();
+    for (uint32_t i = 0; i < count; i++) {
+        auto kind = static_cast<MutKind>(ops.get<uint8_t>());
+        auto flags = ops.get<uint32_t>();
+        auto casVersion = ops.get<uint32_t>();
+        auto key = ops.getString();
+        auto val = ops.getString();
+        MutResult r = MutResult::error;
+        switch (kind) {
+          case MutKind::set:
+            doSet(tx, root, key, val, flags);
+            r = MutResult::stored;
+            break;
+          case MutKind::del:
+            r = doDel(tx, root, key);
+            break;
+          case MutKind::cas:
+            r = doCas(tx, root, key, val, flags, casVersion);
+            break;
+        }
+        if (live && results != nullptr)
+            results[i] = r;
     }
-    if (out != nullptr)
-        *out = false;
 }
 
 const txn::FuncId kKvSet = txn::registerTxFunc("kv_set", kvSetFn);
 const txn::FuncId kKvGet = txn::registerTxFunc("kv_get", kvGetFn);
 const txn::FuncId kKvDel = txn::registerTxFunc("kv_del", kvDelFn);
+const txn::FuncId kKvCas = txn::registerTxFunc("kv_cas", kvCasFn);
+const txn::FuncId kKvBatch = txn::registerTxFunc("kv_batch", kvBatchFn);
 
 }  // namespace
 
@@ -155,7 +277,7 @@ KvServer::KvServer(txn::Engine& eng, uint64_t rootOff,
     } else {
         root_ = nvm::PPtr<PKvStore>(rootOff);
     }
-    shards_ = std::vector<Shard>(root_->nShards);
+    shards_ = std::vector<ShardState>(root_->nShards);
 }
 
 size_t
@@ -209,33 +331,166 @@ class ShardGuard {
     bool exclusive_;
 };
 
+/**
+ * Exception-safe exclusive lock over a batch's shard set. Indices are
+ * locked in ascending order — concurrent batches from different
+ * workers may overlap shard sets, and ordered acquisition is what
+ * rules deadlock out.
+ */
+class MultiShardGuard {
+ public:
+    MultiShardGuard(KvServer& server, std::vector<size_t>&& sorted)
+        : server_(server), idx_(std::move(sorted))
+    {
+        for (size_t i : idx_)
+            server_.lockShard(i, true);
+    }
+    ~MultiShardGuard()
+    {
+        for (auto it = idx_.rbegin(); it != idx_.rend(); ++it)
+            server_.unlockShard(*it, true);
+    }
+    MultiShardGuard(const MultiShardGuard&) = delete;
+    MultiShardGuard& operator=(const MultiShardGuard&) = delete;
+
+ private:
+    KvServer& server_;
+    std::vector<size_t> idx_;
+};
+
 }  // namespace
 
 void
 KvServer::set(std::string_view key, std::string_view val,
               uint32_t flags)
 {
-    ShardGuard g(*this, shardOf(key), true);
+    size_t shard = shardOf(key);
+    shards_[shard].stats.sets.fetch_add(1, std::memory_order_relaxed);
+    ShardGuard g(*this, shard, true);
     txn::run(eng_, kKvSet, root_.raw(), key, val, flags);
+}
+
+bool
+KvServer::get(std::string_view key, KvReadResult* out)
+{
+    size_t shard = shardOf(key);
+    auto& st = shards_[shard].stats;
+    st.gets.fetch_add(1, std::memory_order_relaxed);
+    ShardGuard g(*this, shard, false);
+    txn::run(eng_, kKvGet, root_.raw(), key,
+             reinterpret_cast<uint64_t>(out));
+    if (out->found)
+        st.hits.fetch_add(1, std::memory_order_relaxed);
+    return out->found;
 }
 
 bool
 KvServer::get(std::string_view key, ds::LookupResult* out)
 {
-    ShardGuard g(*this, shardOf(key), false);
-    txn::run(eng_, kKvGet, root_.raw(), key,
-             reinterpret_cast<uint64_t>(out));
-    return out->found;
+    KvReadResult full;
+    if (!get(key, &full)) {
+        out->found = false;
+        return false;
+    }
+    out->found = true;
+    out->len = full.len;
+    std::memcpy(out->value, full.value, full.len);
+    return true;
+}
+
+MutResult
+KvServer::cas(std::string_view key, std::string_view val,
+              uint32_t flags, uint32_t expectedVersion)
+{
+    size_t shard = shardOf(key);
+    MutResult r = MutResult::error;
+    {
+        ShardGuard g(*this, shard, true);
+        txn::run(eng_, kKvCas, root_.raw(), key, val, flags,
+                 expectedVersion, reinterpret_cast<uint64_t>(&r));
+    }
+    auto& st = shards_[shard].stats;
+    if (r == MutResult::stored)
+        st.casStores.fetch_add(1, std::memory_order_relaxed);
+    else
+        st.casMisses.fetch_add(1, std::memory_order_relaxed);
+    return r;
 }
 
 bool
 KvServer::del(std::string_view key)
 {
-    ShardGuard g(*this, shardOf(key), true);
-    bool removed = false;
-    txn::run(eng_, kKvDel, root_.raw(), key,
-             reinterpret_cast<uint64_t>(&removed));
-    return removed;
+    size_t shard = shardOf(key);
+    auto& st = shards_[shard].stats;
+    st.dels.fetch_add(1, std::memory_order_relaxed);
+    MutResult r = MutResult::error;
+    {
+        ShardGuard g(*this, shard, true);
+        txn::run(eng_, kKvDel, root_.raw(), key,
+                 reinterpret_cast<uint64_t>(&r));
+    }
+    if (r == MutResult::deleted) {
+        st.delHits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+KvServer::applyBatch(std::span<const MutOp> ops, MutResult* results)
+{
+    if (ops.empty())
+        return;
+    std::vector<size_t> shardIdx;
+    shardIdx.reserve(ops.size());
+    for (const auto& op : ops)
+        shardIdx.push_back(shardOf(op.key));
+    std::sort(shardIdx.begin(), shardIdx.end());
+    shardIdx.erase(std::unique(shardIdx.begin(), shardIdx.end()),
+                   shardIdx.end());
+
+    txn::ArgWriter blob;
+    blob.put(static_cast<uint32_t>(ops.size()));
+    for (const auto& op : ops) {
+        blob.put(static_cast<uint8_t>(op.kind));
+        blob.put(op.flags);
+        blob.put(op.casVersion);
+        blob.putBytes(op.key.data(), op.key.size());
+        blob.putBytes(op.val.data(), op.val.size());
+    }
+
+    // The batch blob rides in the descriptor's v_log argument area
+    // alongside the root/results words and span framing. Reject
+    // oversized batches with the same typed error as a log overflow
+    // so callers fall back to op-by-op replay instead of panicking.
+    constexpr size_t kBatchArgSlack = 64;
+    if (blob.bytes().size() + kBatchArgSlack > rt::kMaxArgBytes)
+        throw txn::LogOverflowError(
+            blob.bytes().size() + kBatchArgSlack, rt::kMaxArgBytes);
+
+    for (const auto& op : ops) {
+        auto& st = shards_[shardOf(op.key)].stats;
+        if (op.kind == MutKind::set)
+            st.sets.fetch_add(1, std::memory_order_relaxed);
+        else if (op.kind == MutKind::del)
+            st.dels.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    MultiShardGuard g(*this, std::move(shardIdx));
+    txn::run(eng_, kKvBatch, root_.raw(),
+             reinterpret_cast<uint64_t>(results), blob.bytes());
+
+    for (size_t i = 0; i < ops.size(); i++) {
+        auto& st = shards_[shardOf(ops[i].key)].stats;
+        if (ops[i].kind == MutKind::del &&
+            results[i] == MutResult::deleted)
+            st.delHits.fetch_add(1, std::memory_order_relaxed);
+        else if (ops[i].kind == MutKind::cas &&
+                 results[i] == MutResult::stored)
+            st.casStores.fetch_add(1, std::memory_order_relaxed);
+        else if (ops[i].kind == MutKind::cas)
+            st.casMisses.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 uint64_t
@@ -250,6 +505,24 @@ KvServer::itemCount() const
         }
     }
     return n;
+}
+
+KvServer::StatsTotals
+KvServer::statsTotals() const
+{
+    StatsTotals t;
+    for (const auto& s : shards_) {
+        t.gets += s.stats.gets.load(std::memory_order_relaxed);
+        t.hits += s.stats.hits.load(std::memory_order_relaxed);
+        t.sets += s.stats.sets.load(std::memory_order_relaxed);
+        t.dels += s.stats.dels.load(std::memory_order_relaxed);
+        t.delHits += s.stats.delHits.load(std::memory_order_relaxed);
+        t.casStores +=
+            s.stats.casStores.load(std::memory_order_relaxed);
+        t.casMisses +=
+            s.stats.casMisses.load(std::memory_order_relaxed);
+    }
+    return t;
 }
 
 }  // namespace cnvm::apps

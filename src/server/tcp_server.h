@@ -1,0 +1,91 @@
+/**
+ * @file
+ * TCP front-end for the KV service: one accept thread plus a thread
+ * per connection, speaking the memcached text protocol
+ * (server/protocol.h) over loopback or LAN.
+ *
+ * Each connection thread turns a burst of received bytes into a
+ * *window* of parsed commands, submits them all to the KvService
+ * (which routes each to its shard-owning worker and group-commits
+ * runs of mutations), waits for the window's completion, then writes
+ * every response back in command order. Pipelining clients therefore
+ * get batching for free: the deeper the pipeline, the more mutations
+ * fuse into one transaction.
+ *
+ * Replies are sent only after the covering transaction committed, so
+ * any response the client has seen is durable across a crash
+ * (kill -9 included) — the invariant the kill-mid-traffic torture
+ * lane checks.
+ */
+#ifndef CNVM_SERVER_TCP_SERVER_H
+#define CNVM_SERVER_TCP_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/kv_service.h"
+
+namespace cnvm::server {
+
+struct TcpConfig {
+    /** 0 → ephemeral; read the bound port back with port(). */
+    uint16_t port = 0;
+    int backlog = 64;
+};
+
+class TcpServer {
+ public:
+    TcpServer(KvService& svc, apps::KvServer& kv,
+              const TcpConfig& cfg);
+    ~TcpServer();
+
+    TcpServer(const TcpServer&) = delete;
+    TcpServer& operator=(const TcpServer&) = delete;
+
+    /** Bind + listen on 127.0.0.1 and launch the accept thread.
+     *  @throws FatalError if the socket cannot be bound. */
+    void start();
+
+    /** Close the listener, shut down live connections, join all
+     *  threads. In-flight windows finish first. */
+    void stop();
+
+    /** The bound port (valid after start()). */
+    uint16_t port() const { return port_; }
+
+    uint64_t connectionsAccepted() const
+    {
+        return accepted_.load(std::memory_order_relaxed);
+    }
+
+ private:
+    struct Conn {
+        int fd = -1;
+        std::thread thread;
+        bool closed = false;
+    };
+
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    KvService& svc_;
+    apps::KvServer& kv_;
+    TcpConfig cfg_;
+
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::thread acceptThread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint64_t> accepted_{0};
+
+    std::mutex connMu_;
+    std::vector<std::unique_ptr<Conn>> conns_;
+    bool running_ = false;
+};
+
+}  // namespace cnvm::server
+
+#endif  // CNVM_SERVER_TCP_SERVER_H

@@ -1,5 +1,6 @@
 #include "txn/engine.h"
 
+#include "nvm/pool.h"
 #include "sim/context.h"
 
 namespace cnvm::txn {
@@ -11,6 +12,12 @@ thread_local unsigned tlsTid = 0;
 void
 setThreadTid(unsigned tid)
 {
+    // Validate against the ambient pool when there is one: a tid at
+    // or past maxThreads would index past the slot array and corrupt
+    // a neighbor slot's log area on the next txBegin.
+    if (auto* p = nvm::Pool::current();
+        p != nullptr && tid >= p->maxThreads())
+        throw SlotRangeError(tid, p->maxThreads());
     tlsTid = tid;
 }
 
@@ -20,6 +27,15 @@ currentTid()
     if (auto* c = sim::cur())
         return c->tid();
     return tlsTid;
+}
+
+void
+Engine::bindThisThread(unsigned tid) const
+{
+    unsigned slots = rt.pool().maxThreads();
+    if (tid >= slots)
+        throw SlotRangeError(tid, slots);
+    tlsTid = tid;
 }
 
 }  // namespace cnvm::txn

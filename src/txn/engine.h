@@ -6,15 +6,49 @@
  * Slot assignment: under the logical-thread executor the slot is the
  * logical thread id; under real OS threads it is a thread-local id set
  * with setThreadTid() (defaults to 0 for single-threaded callers).
+ * Slot ids index the pool's per-thread log areas, so an out-of-range
+ * id would silently scribble over another slot's log: setThreadTid
+ * validates against the ambient pool and throws SlotRangeError, and
+ * Engine::bindThisThread validates against the engine's own pool
+ * (authoritative in multi-pool processes).
  */
 #ifndef CNVM_TXN_ENGINE_H
 #define CNVM_TXN_ENGINE_H
 
+#include "common/error.h"
 #include "txn/runtime.h"
 
 namespace cnvm::txn {
 
-/** Assign the calling OS thread's runtime slot (real-thread mode). */
+/**
+ * A thread tried to bind a runtime slot the pool does not have.
+ * Typed (rather than a CNVM_CHECK abort) so servers can refuse a
+ * misconfigured worker count without dying.
+ */
+class SlotRangeError : public FatalError {
+ public:
+    SlotRangeError(unsigned tid, unsigned slots)
+        : FatalError(strprintf(
+              "thread slot %u out of range: the pool has %u runtime "
+              "slots (PoolConfig::maxThreads)",
+              tid, slots)),
+          tid_(tid), slots_(slots)
+    {
+    }
+
+    unsigned tid() const { return tid_; }
+    unsigned slots() const { return slots_; }
+
+ private:
+    unsigned tid_;
+    unsigned slots_;
+};
+
+/**
+ * Assign the calling OS thread's runtime slot (real-thread mode).
+ * @throws SlotRangeError if a pool is current and `tid` is not a
+ *         valid slot of it.
+ */
 void setThreadTid(unsigned tid);
 
 /** The calling context's runtime slot. */
@@ -52,6 +86,14 @@ struct Engine {
     }
 
     unsigned tid() const { return currentTid(); }
+
+    /**
+     * Bind the calling OS thread to slot `tid`, validated against
+     * THIS engine's pool (server workers use this; the free-function
+     * setThreadTid can only check the ambient Pool::current()).
+     * @throws SlotRangeError on an out-of-range slot.
+     */
+    void bindThisThread(unsigned tid) const;
 };
 
 }  // namespace cnvm::txn

@@ -6,7 +6,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <thread>
+#include <vector>
 
 #include "apps/kv/kv_server.h"
 #include "apps/vacation/vacation.h"
@@ -72,6 +75,77 @@ TEST_P(KvServerTest, SpinAndRwLockModesBehaveIdentically)
             ASSERT_TRUE(server.get("k" + std::to_string(i), &r));
             ASSERT_EQ(r.str(), "v" + std::to_string(i));
         }
+    }
+}
+
+TEST_P(KvServerTest, ConcurrentRealThreadsMatchPerThreadModels)
+{
+    // Real std::threads (not the logical executor), one engine slot
+    // each, hammering mixed set/get/del over a partitioned keyspace.
+    // Shard locks serialize conflicting transactions; each thread's
+    // slice must match its private model exactly.
+    for (auto mode : {apps::KvServer::LockMode::spin,
+                      apps::KvServer::LockMode::rw}) {
+        Harness h(GetParam(), rt::ClobberPolicy::refined,
+                  96ULL << 20);
+        auto eng = h.engine();
+        apps::KvServer::Config cfg;
+        cfg.shards = 16;
+        cfg.bucketsPerShard = 64;
+        cfg.lockMode = mode;
+        apps::KvServer server(eng, 0, cfg);
+
+        constexpr int kThreads = 4;
+        constexpr int kOpsPerThread = 400;
+        std::vector<std::map<std::string, std::string>> models(
+            kThreads);
+        std::vector<std::thread> threads;
+        std::atomic<int> mismatches{0};
+        for (int t = 0; t < kThreads; t++) {
+            threads.emplace_back([&, t] {
+                eng.bindThisThread(static_cast<unsigned>(t));
+                auto& model = models[t];
+                Xorshift rng(100 + t);
+                for (int i = 0; i < kOpsPerThread; i++) {
+                    std::string key =
+                        "t" + std::to_string(t) + "-k" +
+                        std::to_string(rng.nextUint(50));
+                    auto op = rng.nextUint(10);
+                    if (op < 6) {
+                        std::string val =
+                            "v" + std::to_string(t) + "-" +
+                            std::to_string(i);
+                        server.set(key, val);
+                        model[key] = val;
+                    } else if (op < 8) {
+                        bool had = server.del(key);
+                        if (had != (model.erase(key) > 0))
+                            mismatches++;
+                    } else {
+                        ds::LookupResult r;
+                        bool found = server.get(key, &r);
+                        auto it = model.find(key);
+                        if (found != (it != model.end()) ||
+                            (found && r.str() != it->second))
+                            mismatches++;
+                    }
+                }
+            });
+        }
+        for (auto& th : threads)
+            th.join();
+        EXPECT_EQ(mismatches.load(), 0);
+
+        size_t expect = 0;
+        for (const auto& model : models) {
+            expect += model.size();
+            for (const auto& [k, v] : model) {
+                ds::LookupResult r;
+                ASSERT_TRUE(server.get(k, &r)) << k;
+                EXPECT_EQ(r.str(), v);
+            }
+        }
+        EXPECT_EQ(server.itemCount(), expect);
     }
 }
 

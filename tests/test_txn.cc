@@ -80,6 +80,31 @@ TEST(Engine, ThreadTidRouting)
     txn::setThreadTid(0);
 }
 
+TEST(Engine, ThreadTidValidatedAgainstPoolSlots)
+{
+    Harness h(txn::RuntimeKind::clobber);  // maxThreads = 8
+    auto eng = h.engine();
+
+    txn::setThreadTid(7);  // last valid slot
+    EXPECT_EQ(txn::currentTid(), 7u);
+
+    // Out-of-range slots would scribble over a neighbor's log area:
+    // both binding paths must refuse with a typed, catchable error.
+    try {
+        txn::setThreadTid(8);
+        FAIL() << "setThreadTid(8) accepted on an 8-slot pool";
+    } catch (const txn::SlotRangeError& e) {
+        EXPECT_EQ(e.tid(), 8u);
+        EXPECT_EQ(e.slots(), 8u);
+    }
+    EXPECT_EQ(txn::currentTid(), 7u);  // rejected bind left tid alone
+
+    EXPECT_THROW(eng.bindThisThread(64), txn::SlotRangeError);
+    eng.bindThisThread(3);
+    EXPECT_EQ(txn::currentTid(), 3u);
+    txn::setThreadTid(0);
+}
+
 /**
  * True cross-process recovery: the child opens the shared pool file,
  * pushes nodes, crashes mid-transaction (tearing the cache image),

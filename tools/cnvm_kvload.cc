@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Load generator + crash-consistency checker for cnvm_kvserver.
+ *
+ * Load mode drives mixed memcached-protocol traffic over N pipelined
+ * connections (server/loadgen.h) and reports throughput and window
+ * round-trip percentiles. With --shadow PATH each connection journals
+ * every mutation (pending before send, acked on reply), which a later
+ * --verify run replays against the restarted server: every acked
+ * write must be present, in-flight writes may have landed either way.
+ *
+ *   cnvm_kvload --port-file /tmp/kv.port --ops 100000 --conns 4 \
+ *               --write 0.95 --shadow /tmp/kv.shadow --expect-kill
+ *   cnvm_kvload --port-file /tmp/kv.port --verify /tmp/kv.shadow \
+ *               --conns 4
+ *
+ * Exit status: 0 ok, 1 server died unexpectedly (without
+ * --expect-kill), 2 integrity violations in --verify.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/loadgen.h"
+
+using namespace cnvm;
+
+namespace {
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s (--port N | --port-file PATH) [--ops N]\n"
+        "          [--conns N] [--window N] [--keys N] [--vallen N]\n"
+        "          [--write RATIO] [--seed N] [--max-seconds S]\n"
+        "          [--shadow PATH] [--expect-kill]\n"
+        "          [--verify PATH]\n",
+        argv0);
+    std::exit(2);
+}
+
+unsigned
+readPortFile(const std::string& path)
+{
+    FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot read port file %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    unsigned port = 0;
+    if (std::fscanf(f, "%u", &port) != 1)
+        port = 0;
+    std::fclose(f);
+    if (port == 0) {
+        std::fprintf(stderr, "bad port file %s\n", path.c_str());
+        std::exit(2);
+    }
+    return port;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    server::LoadConfig cfg;
+    std::string verifyPath;
+    bool expectKill = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        auto val = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (a == "--port")
+            cfg.port = static_cast<uint16_t>(
+                std::strtoul(val().c_str(), nullptr, 10));
+        else if (a == "--port-file")
+            cfg.port = static_cast<uint16_t>(readPortFile(val()));
+        else if (a == "--ops")
+            cfg.totalOps = std::strtoull(val().c_str(), nullptr, 10);
+        else if (a == "--conns")
+            cfg.connections =
+                std::strtoul(val().c_str(), nullptr, 10);
+        else if (a == "--window")
+            cfg.window = std::strtoul(val().c_str(), nullptr, 10);
+        else if (a == "--keys")
+            cfg.keySpace = std::strtoull(val().c_str(), nullptr, 10);
+        else if (a == "--vallen")
+            cfg.valueLen = std::strtoull(val().c_str(), nullptr, 10);
+        else if (a == "--write")
+            cfg.writeRatio = std::strtod(val().c_str(), nullptr);
+        else if (a == "--seed")
+            cfg.seed = std::strtoull(val().c_str(), nullptr, 10);
+        else if (a == "--max-seconds")
+            cfg.maxSeconds = std::strtod(val().c_str(), nullptr);
+        else if (a == "--shadow")
+            cfg.shadowPath = val();
+        else if (a == "--verify")
+            verifyPath = val();
+        else if (a == "--expect-kill")
+            expectKill = true;
+        else
+            usage(argv[0]);
+    }
+    if (cfg.port == 0)
+        usage(argv[0]);
+
+    if (!verifyPath.empty()) {
+        auto res = server::verifyShadow(verifyPath, cfg.connections,
+                                        cfg.port);
+        std::printf("VERIFY keys=%llu violations=%llu\n",
+                    static_cast<unsigned long long>(res.keysChecked),
+                    static_cast<unsigned long long>(res.violations));
+        for (const auto& ex : res.examples)
+            std::printf("  VIOLATION %s\n", ex.c_str());
+        return res.violations == 0 ? 0 : 2;
+    }
+
+    auto res = server::runLoad(cfg);
+    std::printf("LOAD acked=%llu errors=%llu secs=%.3f ops_per_sec=%.0f "
+                "p50us=%.1f p95us=%.1f p99us=%.1f died=%d\n",
+                static_cast<unsigned long long>(res.opsAcked),
+                static_cast<unsigned long long>(res.errors),
+                res.seconds, res.opsPerSec, res.p50us, res.p95us,
+                res.p99us, res.serverDied ? 1 : 0);
+    if (res.serverDied && !expectKill)
+        return 1;
+    return 0;
+}
