@@ -222,6 +222,34 @@ def logwriter(d):
                    row.get('fences_per_tx', float('nan'))))
 
 
+def recovery(d):
+    doc = read_json(os.path.join(d, 'BENCH_recovery.json'))
+    if not doc:
+        return
+    print('\n### Instant restart — time to first transaction '
+          '(BENCH_recovery.json)\n')
+    print('| label | system | pool MB | full TTFT us | lazy TTFT us |'
+          ' speedup | lazy admit us | pending @first tx |')
+    print('|---|---|---|---|---|---|---|---|')
+    for label, run in sorted(doc.items()):
+        cells = {}
+        for row in run.get('ttft', []):
+            cells.setdefault((row['system'], row['pool_mb']),
+                             {})[row['mode']] = row
+        for (sysname, mb) in sorted(cells):
+            full = cells[(sysname, mb)].get('full')
+            lazy = cells[(sysname, mb)].get('lazy')
+            if full is None or lazy is None:
+                continue
+            sp = (full['ttft_us'] / lazy['ttft_us']
+                  if lazy['ttft_us'] else float('nan'))
+            print('| %s | %s | %d | %.0f | %.0f | %.1fx | %.0f |'
+                  ' %d |' %
+                  (label, sysname, mb, full['ttft_us'],
+                   lazy['ttft_us'], sp, lazy['recover_us'],
+                   lazy['pending_at_first_tx']))
+
+
 def kvserver(d):
     doc = read_json(os.path.join(d, 'BENCH_kvserver.json'))
     if not doc:
@@ -254,7 +282,7 @@ def kvserver(d):
 def main():
     d = sys.argv[1] if len(sys.argv) > 1 else '.'
     for fn in (fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13,
-               fig14, ablation, logwriter, kvserver):
+               fig14, ablation, logwriter, recovery, kvserver):
         fn(d)
 
 

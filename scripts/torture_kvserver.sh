@@ -10,10 +10,15 @@
 # transaction commits); unacked in-flight mutations may land either
 # way, and the shadow verifier allows exactly that.
 #
-#   BUILD_DIR=build scripts/torture_kvserver.sh
+#   BUILD_DIR=build scripts/torture_kvserver.sh [--recovery full|lazy]
 #
 # Knobs: CNVM_SMOKE=1 shrinks rounds/ops for CI; CNVM_KV_PROTOCOLS
 # overrides the protocol list; CNVM_KV_ROUNDS the kill count.
+# --recovery lazy restarts the server in instant-restart mode: it
+# serves right after triage while the background healer drains, and
+# every restart after the first additionally lands a SECOND SIGKILL
+# right after READY — i.e. while recovery itself is still in flight —
+# before the restart that verifies the journals.
 set -u
 
 BUILD_DIR=${BUILD_DIR:-build}
@@ -21,6 +26,16 @@ SERVER="$BUILD_DIR/tools/cnvm_kvserver"
 LOAD="$BUILD_DIR/tools/cnvm_kvload"
 PROTOCOLS=${CNVM_KV_PROTOCOLS:-"clobber pmdk mnemosyne"}
 ROUNDS=${CNVM_KV_ROUNDS:-3}
+RECOVERY_MODE=full
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --recovery) RECOVERY_MODE=$2; shift 2 ;;
+        *) echo "unknown argument: $1"; exit 2 ;;
+    esac
+done
+case "$RECOVERY_MODE" in full|lazy) ;; *)
+    echo "bad --recovery (want full|lazy)"; exit 2 ;;
+esac
 CONNS=2
 WORKERS=2
 KILL_DELAY=1.5
@@ -46,7 +61,8 @@ trap cleanup EXIT
 start_server() { # proto pool portfile logfile
     rm -f "$3"
     "$SERVER" --pool "$2" --protocol "$1" --workers $WORKERS \
-              --batch 8 --port 0 --port-file "$3" >"$4" 2>&1 &
+              --batch 8 --port 0 --port-file "$3" \
+              --recovery "$RECOVERY_MODE" >"$4" 2>&1 &
     SRV_PID=$!
     for _ in $(seq 1 200); do
         [ -s "$3" ] && return 0
@@ -65,6 +81,19 @@ for proto in $PROTOCOLS; do
         portf="$TMP/port.$proto.$round"
         slog="$TMP/server.$proto.$round.log"
         start_server "$proto" "$pool" "$portf" "$slog"
+
+        if [ "$RECOVERY_MODE" = "lazy" ] && [ -n "$prev_shadow" ]; then
+            # Second kill, landing while lazy recovery is still in
+            # flight (the healer may be mid-drain, the heap rebuild
+            # mid-scan). The restart below must re-triage and still
+            # satisfy the journal verification.
+            kill -9 "$SRV_PID" 2>/dev/null
+            wait "$SRV_PID" 2>/dev/null
+            SRV_PID=""
+            portf="$TMP/port.$proto.$round.re"
+            slog="$TMP/server.$proto.$round.re.log"
+            start_server "$proto" "$pool" "$portf" "$slog"
+        fi
 
         if [ -n "$prev_shadow" ]; then
             if ! "$LOAD" --port-file "$portf" --conns $CONNS \
@@ -112,7 +141,8 @@ for proto in $PROTOCOLS; do
     kill "$SRV_PID" 2>/dev/null
     wait "$SRV_PID" 2>/dev/null
     SRV_PID=""
-    echo "OK($proto): $ROUNDS kill(s), acked data intact"
+    echo "OK($proto): $ROUNDS kill(s), recovery=$RECOVERY_MODE," \
+         "acked data intact"
 done
 
 if [ "$fail" -ne 0 ]; then

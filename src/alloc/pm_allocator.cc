@@ -59,7 +59,8 @@ PmAllocator::expectedHeader() const
     return h;
 }
 
-PmAllocator::PmAllocator(nvm::Pool& pool) : pool_(pool)
+PmAllocator::PmAllocator(nvm::Pool& pool, bool deferRebuild)
+    : pool_(pool)
 {
     auto* h = static_cast<AllocHeader*>(pool_.at(pool_.heapOff()));
     if (h->magic != kMagic) {
@@ -85,7 +86,10 @@ PmAllocator::PmAllocator(nvm::Pool& pool) : pool_(pool)
         pool_.flush(pool_.at(newHdr.bitmapOff), newHdr.bitmapBytes);
         pool_.persist(h, sizeof(*h));
     }
-    rebuild();
+    if (deferRebuild)
+        beginLazyRebuild();
+    else
+        rebuild();
 }
 
 QuarantineTable*
@@ -158,6 +162,46 @@ PmAllocator::insertFreeExtentLocked(uint64_t off, uint64_t len)
     bySize_.emplace(len, off);
 }
 
+void
+PmAllocator::insertFreeRunMaskedLocked(uint64_t off, uint64_t len)
+{
+    if (holds_.empty() && reserved_.empty()) {
+        insertFreeExtentLocked(off, len);
+        return;
+    }
+    // Collect every hold / live-reservation range overlapping the run,
+    // then insert only the gaps between them.
+    std::vector<std::pair<uint64_t, uint64_t>> masks;
+    for (const Hold& hd : holds_) {
+        if (hd.off < off + len && off < hd.off + hd.bytes)
+            masks.emplace_back(hd.off, hd.off + hd.bytes);
+    }
+    auto it = reserved_.lower_bound(off);
+    if (it != reserved_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second > off)
+            masks.emplace_back(prev->first,
+                               prev->first + prev->second);
+    }
+    for (; it != reserved_.end() && it->first < off + len; ++it)
+        masks.emplace_back(it->first, it->first + it->second);
+    if (masks.empty()) {
+        insertFreeExtentLocked(off, len);
+        return;
+    }
+    std::sort(masks.begin(), masks.end());
+    uint64_t cur = off;
+    for (auto [lo, hi] : masks) {
+        lo = std::max(lo, off);
+        hi = std::min(hi, off + len);
+        if (lo > cur)
+            insertFreeExtentLocked(cur, lo - cur);
+        cur = std::max(cur, hi);
+    }
+    if (cur < off + len)
+        insertFreeExtentLocked(cur, off + len - cur);
+}
+
 uint64_t
 PmAllocator::reserveLocked(uint64_t need)
 {
@@ -182,6 +226,16 @@ PmAllocator::reserve(size_t payload)
     {
         std::lock_guard<std::mutex> g(mu_);
         off = reserveLocked(need);
+        // During a lazy rebuild the free map only covers the scanned
+        // prefix of the bitmap: pull more of the scan before declaring
+        // the heap exhausted. 64 chunks = 4 KiB of bitmap = 512 KiB of
+        // data per pull keeps the stall bounded.
+        while (off == 0 && lazyActive_ && !lazyScanDone_) {
+            lazyStepLocked(64);
+            off = reserveLocked(need);
+        }
+        if (off != 0)
+            reserved_[off] = need;
     }
     if (off == 0)
         fatal("persistent heap exhausted");
@@ -197,6 +251,7 @@ PmAllocator::releaseReservation(uint64_t payloadOff)
     uint64_t off = blockOff(payloadOff);
     uint64_t len = blockGranules(payloadOff) * kGranule;
     std::lock_guard<std::mutex> g(mu_);
+    reserved_.erase(off);
     insertFreeExtentLocked(off, len);
 }
 
@@ -232,6 +287,7 @@ PmAllocator::persistAllocate(uint64_t payloadOff)
     std::lock_guard<std::mutex> g(mu_);
     setBits(bOff, granules, true, true);
     pool_.flush(pool_.at(bOff), sizeof(BlockHeader));
+    reserved_.erase(bOff);  // the bitmap speaks for the block now
 }
 
 void
@@ -248,7 +304,11 @@ PmAllocator::persistFree(uint64_t payloadOff, size_t payloadBytes)
         alignUp(sizeof(BlockHeader) + payloadBytes, kGranule) / kGranule;
     std::lock_guard<std::mutex> g(mu_);
     setBits(bOff, granules, false, true);
-    insertFreeExtentLocked(bOff, granules * kGranule);
+    // Mid-lazy-rebuild, a range the scan has not reached yet must not
+    // enter the free map twice: the cleared bits make the ongoing scan
+    // (or the final reconcile) insert it exactly once.
+    if (scannedLocked(bOff, granules))
+        insertFreeExtentLocked(bOff, granules * kGranule);
     stats::bump(stats::Counter::frees);
 }
 
@@ -260,6 +320,21 @@ PmAllocator::revertBits(uint64_t payloadOff, size_t payloadBytes,
     uint64_t granules =
         alignUp(sizeof(BlockHeader) + payloadBytes, kGranule) / kGranule;
     std::lock_guard<std::mutex> g(mu_);
+    if (allocated && lazyActive_) {
+        // Lazy recovery heals concurrently with foreground traffic: a
+        // block the crashed transaction allocated (and committed) may
+        // since have been freed again by a committed foreground
+        // transaction. Its free-map extent is the evidence — don't
+        // re-force such a block allocated, or the free would leak.
+        auto it = free_.upper_bound(bOff);
+        if (it != free_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->first <= bOff &&
+                bOff + granules * kGranule <=
+                    prev->first + prev->second)
+                return;
+        }
+    }
     if (allocated) {
         // Restoring an allocated block whose header may have been
         // torn: rewrite the header from the intent table so later
@@ -373,14 +448,9 @@ PmAllocator::quarantineViolation() const
     return false;
 }
 
-RebuildStats
-PmAllocator::rebuild()
+void
+PmAllocator::healMetaLocked(RebuildStats* st)
 {
-    RebuildStats st{};
-    std::lock_guard<std::mutex> g(mu_);
-    free_.clear();
-    bySize_.clear();
-
     // Heal the header before trusting a single offset below: its
     // layout fields are recomputable, so a flipped, poisoned or
     // simply wrong header is rewritten in place (the rewrite also
@@ -402,7 +472,7 @@ PmAllocator::rebuild()
         if (bad) {
             pool_.writeAt(pool_.heapOff(), &want, sizeof(want));
             pool_.persist(pool_.at(pool_.heapOff()), sizeof(want));
-            st.headerHealed = true;
+            st->headerHealed = true;
         }
     }
     const AllocHeader& h = hdr();
@@ -429,8 +499,27 @@ PmAllocator::rebuild()
         fresh.checksum = quarantineChecksum(0, fresh.entries);
         pool_.writeAt(h.quarOff, &fresh, sizeof(fresh));
         pool_.persist(pool_.at(h.quarOff), sizeof(fresh));
-        st.quarantineTableReset = true;
+        st->quarantineTableReset = true;
     }
+}
+
+RebuildStats
+PmAllocator::rebuild(bool keepSession)
+{
+    RebuildStats st{};
+    std::lock_guard<std::mutex> g(mu_);
+    free_.clear();
+    bySize_.clear();
+    if (!keepSession) {
+        // Fresh-process recovery: pre-crash reservations and holds are
+        // dead volatile state of the previous execution.
+        reserved_.clear();
+        holds_.clear();
+    }
+
+    healMetaLocked(&st);
+    const AllocHeader& h = hdr();
+    QuarantineTable* qt = quarTable();
 
     // Guarded bitmap scan into a trusted local copy. A 64-byte chunk
     // that cannot be read (poison) or was bit-flipped (taint) cannot
@@ -500,12 +589,187 @@ PmAllocator::rebuild()
             runStart = i;
             inRun = true;
         } else if (!isFree && inRun) {
-            insertFreeExtentLocked(h.dataOff + runStart * kGranule,
-                                   (i - runStart) * kGranule);
+            insertFreeRunMaskedLocked(h.dataOff + runStart * kGranule,
+                                      (i - runStart) * kGranule);
             inRun = false;
         }
     }
+
+    // A full rebuild supersedes any lazy session: fold its salvage
+    // into this pass's stats and close it.
+    if (lazyActive_) {
+        st.quarantinedBlocks += lazyStats_.quarantinedBlocks;
+        st.quarantinedBytes += lazyStats_.quarantinedBytes;
+        st.poisonedChunks += lazyStats_.poisonedChunks;
+        st.quarantineTableReset =
+            st.quarantineTableReset || lazyStats_.quarantineTableReset;
+        st.headerHealed = st.headerHealed || lazyStats_.headerHealed;
+        lazyStats_ = RebuildStats{};
+        lazyActive_ = false;
+        lazyScanDone_ = true;
+        lazyInRun_ = false;
+    }
     return st;
+}
+
+void
+PmAllocator::beginLazyRebuild()
+{
+    std::lock_guard<std::mutex> g(mu_);
+    free_.clear();
+    bySize_.clear();
+    reserved_.clear();
+    holds_.clear();
+    lazyStats_ = RebuildStats{};
+    healMetaLocked(&lazyStats_);
+    lazyActive_ = true;
+    lazyScanDone_ = false;
+    lazyCursor_ = 0;
+    lazyInRun_ = false;
+}
+
+bool
+PmAllocator::lazyRebuildActive() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return lazyActive_;
+}
+
+bool
+PmAllocator::scannedLocked(uint64_t bOff, uint64_t granules) const
+{
+    if (!lazyActive_ || lazyScanDone_)
+        return true;
+    const AllocHeader& h = hdr();
+    uint64_t lastG = (bOff - h.dataOff) / kGranule + granules - 1;
+    return lastG / 8 < lazyCursor_;
+}
+
+bool
+PmAllocator::lazyStepLocked(uint64_t chunks)
+{
+    const AllocHeader& h = hdr();
+    uint64_t nGranules = h.dataBytes / kGranule;
+    uint64_t usedBitmapBytes = (nGranules + 7) / 8;
+    QuarantineTable* qt = quarTable();
+    bool wroteBits = false;
+
+    for (uint64_t step = 0;
+         step < chunks && lazyCursor_ < usedBitmapBytes; step++) {
+        uint64_t c = lazyCursor_;
+        uint64_t n = std::min<uint64_t>(64, usedBitmapBytes - c);
+        uint8_t local[64];
+        const void* src = pool_.at(h.bitmapOff + c);
+        bool bad = pool_.isTainted(src, n);
+        if (!bad) {
+            try {
+                pool_.checkRead(src, n);
+            } catch (const nvm::MediaFaultError&) {
+                bad = true;
+            }
+        }
+        uint64_t firstG = c * 8;
+        uint64_t lastG = std::min(firstG + n * 8, nGranules);
+        if (bad) {
+            // Same salvage as rebuild(): the whole chunk's granules
+            // are quarantined and the chunk rewritten all-ones.
+            lazyStats_.poisonedChunks++;
+            std::memset(local, 0xff, n);
+            pool_.writeAt(h.bitmapOff + c, local, n);
+            pool_.flush(src, n);
+            wroteBits = true;
+            quarantineLocked(h.dataOff + firstG * kGranule,
+                             (lastG - firstG) * kGranule,
+                             kQuarPoisonedBitmap);
+            lazyStats_.quarantinedBlocks++;
+            lazyStats_.quarantinedBytes += (lastG - firstG) * kGranule;
+        } else {
+            std::memcpy(local, src, n);
+        }
+        // Force quarantined granules allocated in the local copy.
+        if (qt->count <= QuarantineTable::kCapacity) {
+            for (uint32_t i = 0; i < qt->count; i++) {
+                const QuarantineEntry& e = qt->entries[i];
+                uint64_t lo = std::max(e.off, h.dataOff +
+                                                  firstG * kGranule);
+                uint64_t hi = std::min(e.off + e.bytes,
+                                       h.dataOff + lastG * kGranule);
+                for (uint64_t b = lo; b < hi; b += kGranule) {
+                    uint64_t gi = (b - h.dataOff) / kGranule;
+                    local[gi / 8 - c] |=
+                        static_cast<uint8_t>(1u << (gi % 8));
+                }
+            }
+        }
+        for (uint64_t gi = firstG; gi < lastG; gi++) {
+            bool allocated =
+                (local[gi / 8 - c] & (1u << (gi % 8))) != 0;
+            if (!allocated) {
+                if (!lazyInRun_) {
+                    lazyRunStartG_ = gi;
+                    lazyInRun_ = true;
+                }
+            } else if (lazyInRun_) {
+                insertFreeRunMaskedLocked(
+                    h.dataOff + lazyRunStartG_ * kGranule,
+                    (gi - lazyRunStartG_) * kGranule);
+                lazyInRun_ = false;
+            }
+        }
+        lazyCursor_ += n;
+    }
+    // Flush the still-open free run up to the cursor: on a mostly
+    // empty pool the tail is one huge run that would otherwise only
+    // become allocatable once the scan reaches the very end — turning
+    // the first post-crash reserve() into a full-bitmap scan. The
+    // continuation run opened by the next pull coalesces with this
+    // extent in insertFreeExtentLocked, so no fragmentation survives.
+    if (lazyInRun_ && lazyCursor_ < usedBitmapBytes) {
+        uint64_t curG = std::min(lazyCursor_ * 8, nGranules);
+        if (curG > lazyRunStartG_) {
+            insertFreeRunMaskedLocked(
+                h.dataOff + lazyRunStartG_ * kGranule,
+                (curG - lazyRunStartG_) * kGranule);
+            lazyInRun_ = false;
+        }
+    }
+    if (wroteBits)
+        pool_.fence();
+    if (lazyCursor_ >= usedBitmapBytes) {
+        if (lazyInRun_) {
+            insertFreeRunMaskedLocked(
+                h.dataOff + lazyRunStartG_ * kGranule,
+                (nGranules - lazyRunStartG_) * kGranule);
+            lazyInRun_ = false;
+        }
+        lazyScanDone_ = true;
+    }
+    return lazyScanDone_;
+}
+
+void
+PmAllocator::addHold(unsigned tid, uint64_t off, uint64_t bytes)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    holds_.push_back({tid, off, bytes});
+}
+
+void
+PmAllocator::releaseHolds(unsigned tid)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    holds_.erase(std::remove_if(holds_.begin(), holds_.end(),
+                                [&](const Hold& hd) {
+                                    return hd.tid == tid;
+                                }),
+                 holds_.end());
+}
+
+size_t
+PmAllocator::holdCount() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return holds_.size();
 }
 
 size_t

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "common/error.h"
 #include "nvm/pool.h"
@@ -117,8 +118,14 @@ class PmAllocator {
     static constexpr uint64_t kMagic = 0xA110CA7EDB17ull;
     static constexpr uint64_t kBlockMagic = 0xB10CB10CB10CB10Cull;
 
-    /** Attach to (formatting if necessary) the pool's heap region. */
-    explicit PmAllocator(nvm::Pool& pool);
+    /**
+     * Attach to (formatting if necessary) the pool's heap region.
+     * With `deferRebuild` the constructor skips the full bitmap scan
+     * and arms the incremental lazy rebuild instead (instant restart:
+     * the caller is expected to run beginLazyRebuild-style recovery
+     * through the engine; reserve() pulls scan work on demand).
+     */
+    explicit PmAllocator(nvm::Pool& pool, bool deferRebuild = false);
 
     PmAllocator(const PmAllocator&) = delete;
     PmAllocator& operator=(const PmAllocator&) = delete;
@@ -173,8 +180,44 @@ class PmAllocator {
      * granules they administer are forced allocated, persistently)
      * rather than trusted; already-quarantined ranges never re-enter
      * the free map. @return what this pass salvaged.
+     *
+     * `keepSession` distinguishes the two callers: false (default) is
+     * fresh-process recovery — stale volatile reservations and holds
+     * are discarded before the scan; true is the lazy-recovery final
+     * reconcile, which runs while foreground transactions are in
+     * flight and must keep masking their live reservations (and any
+     * not-yet-released holds) out of the free map. Either way the
+     * lazy scan session ends here: its accumulated salvage stats are
+     * folded into the returned stats.
      */
-    RebuildStats rebuild();
+    RebuildStats rebuild(bool keepSession = false);
+
+    /**
+     * Arm an incremental (lazy) rebuild instead of scanning the whole
+     * bitmap: discard all volatile state (fresh-process semantics),
+     * heal the header and quarantine table — the O(1) prefix of
+     * rebuild() — and leave the free map empty. reserve() then pulls
+     * chunks of the bitmap scan on demand; rebuild(true) reconciles at
+     * the end. Bounded by metadata size, not pool size.
+     */
+    void beginLazyRebuild();
+
+    /** Is an armed lazy rebuild still the source of the free map? */
+    bool lazyRebuildActive() const;
+
+    /**
+     * Pin [off, off+bytes) out of the free map until releaseHolds(tid)
+     * — lazy recovery's guard for blocks whose allocation bits may
+     * have been torn by the crash (the owning slot's intent table is
+     * the truth until that slot heals).
+     */
+    void addHold(unsigned tid, uint64_t off, uint64_t bytes);
+
+    /** Drop every hold owned by `tid` (its slot healed). */
+    void releaseHolds(unsigned tid);
+
+    /** Outstanding hold ranges (diagnostics / tests). */
+    size_t holdCount() const;
 
     /**
      * Persistently quarantine [payloadOff-16, ...) covering `bytes`
@@ -225,7 +268,19 @@ class PmAllocator {
     void setBits(uint64_t blockOff, uint64_t granules, bool value,
                  bool flushBits);
     void insertFreeExtentLocked(uint64_t off, uint64_t len);
+    /** insertFreeExtentLocked minus hold/reservation overlaps. */
+    void insertFreeRunMaskedLocked(uint64_t off, uint64_t len);
     uint64_t reserveLocked(uint64_t need);
+    void healMetaLocked(RebuildStats* st);
+    bool lazyStepLocked(uint64_t chunks);
+    bool scannedLocked(uint64_t blockOff, uint64_t granules) const;
+
+    /** A heap range pinned until its owning slot heals. */
+    struct Hold {
+        unsigned tid;
+        uint64_t off;
+        uint64_t bytes;
+    };
 
     nvm::Pool& pool_;
     mutable std::mutex mu_;
@@ -233,6 +288,19 @@ class PmAllocator {
     std::map<uint64_t, uint64_t> free_;
     /** length -> offset index for best-fit */
     std::multimap<uint64_t, uint64_t> bySize_;
+    /** block offset -> total bytes of live volatile reservations (bits
+     *  still clear on media; a concurrent rebuild must not free them) */
+    std::map<uint64_t, uint64_t> reserved_;
+    std::vector<Hold> holds_;
+    /** @name Lazy (incremental) rebuild session */
+    /// @{
+    bool lazyActive_ = false;
+    bool lazyScanDone_ = false;
+    uint64_t lazyCursor_ = 0;     ///< bitmap bytes consumed so far
+    uint64_t lazyRunStartG_ = 0;  ///< open free-run start granule
+    bool lazyInRun_ = false;
+    RebuildStats lazyStats_{};    ///< salvage found by lazy steps
+    /// @}
 };
 
 }  // namespace cnvm::alloc

@@ -510,13 +510,115 @@ RuntimeBase::recoverIdleIntents(unsigned tid, bool committed)
 }
 
 void
-RuntimeBase::rebuildHeap()
+RuntimeBase::rebuildHeap(bool keepSession)
 {
-    alloc::RebuildStats rs = heap_.rebuild();
+    alloc::RebuildStats rs = heap_.rebuild(keepSession);
     if (report_ != nullptr) {
         report_->quarantinedBlocks += rs.quarantinedBlocks;
         report_->quarantinedBytes += rs.quarantinedBytes;
     }
+}
+
+void
+RuntimeBase::resetVolatileSlot(unsigned tid)
+{
+    slot(tid) = SlotState{};
+}
+
+txn::SlotClass
+RuntimeBase::classifySlot(unsigned tid)
+{
+    if (isOngoing(tid))
+        return txn::SlotClass::ongoing;
+    if (desc(tid).status ==
+        static_cast<uint64_t>(TxStatus::committing)) {
+        return txn::SlotClass::committing;
+    }
+    // Both a live table and a poisoned/corrupt one need a heal (the
+    // heal records the latter as lost); only 0 means nothing to do.
+    if (liveIntentsGuarded(tid) != 0)
+        return txn::SlotClass::idleIntents;
+    return txn::SlotClass::clean;
+}
+
+txn::RecoveryIndex
+RuntimeBase::recoveryTriage()
+{
+    txn::RecoveryIndex idx;
+    idx.supportsLazy = true;
+    idx.heapPending = true;
+    for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
+        resetVolatileSlot(tid);
+        txn::IndexEntry e;
+        e.tid = tid;
+        // Read-only damage check — unlike slotRecoverable, triage
+        // must not salvage-reset anything (healSlot does, once).
+        bool damaged =
+            !descReadable(tid) ||
+            pool_.isTainted(&desc(tid),
+                            offsetof(TxDescriptor, intentSeq));
+        e.cls = damaged ? txn::SlotClass::damaged : classifySlot(tid);
+        if (!damaged && liveIntentsGuarded(tid) == 1) {
+            // A live intent table may own blocks whose bitmap bits
+            // tore in the crash: pin them out of the free map until
+            // this slot's heal settles their true state.
+            const TxDescriptor& d = desc(tid);
+            for (uint32_t i = 0; i < d.intentCount; i++) {
+                const AllocIntent& in = d.intents[i];
+                txn::HoldRange h;
+                h.tid = tid;
+                h.off = in.payloadOff - sizeof(alloc::BlockHeader);
+                h.bytes = (sizeof(alloc::BlockHeader) +
+                               in.payloadBytes +
+                           alloc::kGranule - 1) /
+                          alloc::kGranule * alloc::kGranule;
+                idx.holds.push_back(h);
+            }
+        }
+        triageSlot(tid, e.cls);
+        if (e.cls != txn::SlotClass::clean)
+            idx.entries.push_back(e);
+    }
+    triageFinish();
+    return idx;
+}
+
+void
+RuntimeBase::healOneSlot(unsigned tid, txn::SlotClass)
+{
+    // Re-derive the slot's condition from media: the triage class is
+    // advisory, and a crash mid-heal may have left the slot in a later
+    // stage (e.g. already salvage-reset) than the index recorded.
+    if (!slotRecoverable(tid))
+        return;
+    if (isOngoing(tid))
+        healOngoing(tid);
+    else if (desc(tid).status ==
+             static_cast<uint64_t>(TxStatus::committing))
+        healCommitting(tid);
+    else
+        healIdle(tid);
+}
+
+txn::RecoveryReport
+RuntimeBase::healSlot(const txn::IndexEntry& e)
+{
+    RecoverySession session(*this);
+    // Per-entry heals examine one slot of the universe triage already
+    // counted; merge() takes the max, so report 0 here.
+    session.report().slotsScanned = 0;
+    healOneSlot(e.tid, e.cls);
+    resetVolatileSlot(e.tid);
+    return session.take();
+}
+
+txn::RecoveryReport
+RuntimeBase::healHeap()
+{
+    RecoverySession session(*this);
+    session.report().slotsScanned = 0;
+    rebuildHeap(/* keepSession */ true);
+    return session.take();
 }
 
 void

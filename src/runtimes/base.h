@@ -55,6 +55,28 @@ class RuntimeBase : public txn::Runtime {
     void dealloc(unsigned tid, uint64_t payloadOff) override;
     void txAbort(unsigned tid) override;
 
+    /**
+     * @name Lazy (instant-restart) recovery — triage/heal split
+     *
+     * recoveryTriage() is the bounded pass: classify every slot from
+     * its descriptor (no log replay, no bitmap scan), collect the
+     * heap ranges live intent tables pin, and reset volatile slot
+     * state. It writes nothing a re-run could disagree with — the
+     * index rebuilds identically from the same media, so a crash
+     * anywhere inside triage (or between triage and the last heal)
+     * just means triage runs again. healSlot() is the per-entry slice
+     * of recover(): it re-derives the slot's condition from media
+     * (the triage class is advisory) and applies exactly the repair
+     * full recovery would, so healing twice — or healing after a
+     * crash that landed mid-heal — is idempotent. healHeap() is the
+     * full allocator reconciliation, run once after all entries heal.
+     */
+    /// @{
+    txn::RecoveryIndex recoveryTriage() override;
+    txn::RecoveryReport healSlot(const txn::IndexEntry& e) override;
+    txn::RecoveryReport healHeap() override;
+    /// @}
+
  protected:
     /** Volatile per-slot transaction state. */
     struct SlotState {
@@ -349,8 +371,63 @@ class RuntimeBase : public txn::Runtime {
      */
     void recoverIdleIntents(unsigned tid, bool committed);
 
-    /** heap_.rebuild() folding quarantine stats into the report. */
-    void rebuildHeap();
+    /**
+     * heap_.rebuild() folding quarantine stats into the report.
+     * `keepSession` passes through to PmAllocator::rebuild: true is
+     * the lazy-recovery final reconcile (live reservations and holds
+     * stay masked), false is fresh-process recovery.
+     */
+    void rebuildHeap(bool keepSession = false);
+
+    /**
+     * @name Per-slot recovery hooks (shared by recover() and healSlot)
+     *
+     * The full recover() implementations and the lazy per-entry heals
+     * run the same protocol logic through these virtuals; overriding
+     * one repairs both paths.
+     */
+    /// @{
+    /** Drop the slot's volatile transaction state (redo also clears
+     *  its write map). */
+    virtual void resetVolatileSlot(unsigned tid);
+
+    /** Classify one slot from its descriptor. Read-mostly: must not
+     *  repair anything (triage calls it; heal re-derives). The caller
+     *  has already vetted the descriptor's begin record. */
+    virtual txn::SlotClass classifySlot(unsigned tid);
+
+    /** Per-slot triage hook (redo skips clean slots' txSeq here). */
+    virtual void triageSlot(unsigned /* tid */, txn::SlotClass) {}
+
+    /** End-of-triage hook (redo fences its sequence skips). */
+    virtual void triageFinish() {}
+
+    /**
+     * Heal one slot: vet the descriptor (salvage-reset if unreadable)
+     * and dispatch to healOngoing / healCommitting / healIdle from
+     * the slot's *current* media state. The class is advisory.
+     */
+    virtual void healOneSlot(unsigned tid, txn::SlotClass cls);
+
+    /** Repair an interrupted (status=ongoing) transaction. */
+    virtual void healOngoing(unsigned /* tid */) {}
+
+    /** Roll a committing slot forward (redo). The default treats it
+     *  like an idle slot — no other protocol persists that status. */
+    virtual void
+    healCommitting(unsigned tid)
+    {
+        healIdle(tid);
+    }
+
+    /** Repair a slot with no interrupted transaction: finish (or, per
+     *  protocol, revert) a live alloc-intent table. */
+    virtual void
+    healIdle(unsigned tid)
+    {
+        recoverIdleIntents(tid, /* committed */ true);
+    }
+    /// @}
 
     /** Active recovery report; null outside recover(). */
     txn::RecoveryReport* report_ = nullptr;

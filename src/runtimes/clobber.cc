@@ -11,6 +11,8 @@
 
 namespace cnvm::rt {
 
+thread_local bool ClobberRuntime::recovering_ = false;
+
 void
 ClobberRuntime::txBegin(unsigned tid, txn::FuncId fid,
                         std::span<const uint8_t> args)
@@ -204,6 +206,81 @@ ClobberRuntime::abortReexecution(unsigned tid, const char* why)
     recordSlot(std::move(sr));
 }
 
+void
+ClobberRuntime::declareRestoreAbort(unsigned tid,
+                                    const salvage::ScanStats& st)
+{
+    // Damaged log — or an eliding writer, under which a lost trailing
+    // clobber entry looks exactly like a clean log end while its
+    // in-place write survived. Re-executing would feed the txfunc
+    // those unrestored inputs and commit garbage on top; restore what
+    // validated and declare the abort instead.
+    salvageResetSlot(tid);
+    txn::SlotRecovery sr;
+    sr.tid = tid;
+    sr.action = txn::SlotAction::salvageAborted;
+    sr.entriesApplied = st.entries;
+    sr.entriesDropped = st.droppedEntries;
+    if (st.damaged()) {
+        sr.note = st.sawPoison ? "clobber log poisoned"
+                               : "clobber log corrupted mid-log";
+    } else {
+        sr.note = "zero-fence log writer: inputs not "
+                  "provably restored, not re-executed";
+    }
+    recordSlot(std::move(sr));
+}
+
+void
+ClobberRuntime::reexecuteGuarded(unsigned tid)
+{
+    try {
+        reexecuteSlot(tid);
+        txn::SlotRecovery sr;
+        sr.tid = tid;
+        sr.action = txn::SlotAction::reexecuted;
+        recordSlot(std::move(sr));
+    } catch (const nvm::MediaFaultError& e) {
+        // A guarded input load hit a poisoned line mid-txfunc
+        // (CrashInjected propagates: that is the torture harness
+        // tearing the pool, not a media fault).
+        abortReexecution(tid, e.what());
+    } catch (const txn::LogOverflowError& e) {
+        // The interrupted transaction crashed before its own
+        // overflow point; the full re-execution hit it. Same
+        // resolution as a voluntary abort: restore and abandon.
+        abortReexecution(tid, e.what());
+    } catch (const alloc::CorruptBlockError& e) {
+        // Commit-time intent persist tripped on a block whose
+        // header no longer validates; wall it off so the damage
+        // cannot spread through the free list.
+        heap_.quarantine(e.payloadOff() - sizeof(alloc::BlockHeader),
+                         alloc::kGranule, alloc::kQuarCorruptHeader);
+        if (report_ != nullptr) {
+            report_->quarantinedBlocks++;
+            report_->quarantinedBytes += alloc::kGranule;
+        }
+        abortReexecution(tid, e.what());
+    }
+}
+
+void
+ClobberRuntime::healOngoing(unsigned tid)
+{
+    salvage::ScanStats st = restoreSlot(tid);
+    if (st.damaged() || logWriterElides()) {
+        declareRestoreAbort(tid, st);
+        return;
+    }
+    // Restore and re-execute back to back: lazy recovery has no
+    // stop-the-world heap rebuild to interleave — the allocator's
+    // incremental scan serves the re-execution's reservations, and
+    // this slot's own reverted blocks are simply not handed out until
+    // the final reconcile (the safe direction).
+    resetVolatileSlot(tid);
+    reexecuteGuarded(tid);
+}
+
 txn::RecoveryReport
 ClobberRuntime::recover()
 {
@@ -222,27 +299,7 @@ ClobberRuntime::recover()
         if (isOngoing(tid)) {
             salvage::ScanStats st = restoreSlot(tid);
             if (st.damaged() || logWriterElides()) {
-                // Damaged log — or an eliding writer, under which a
-                // lost trailing clobber entry looks exactly like a
-                // clean log end while its in-place write survived.
-                // Re-executing would feed the txfunc those unrestored
-                // inputs and commit garbage on top; restore what
-                // validated and declare the abort instead.
-                salvageResetSlot(tid);
-                txn::SlotRecovery sr;
-                sr.tid = tid;
-                sr.action = txn::SlotAction::salvageAborted;
-                sr.entriesApplied = st.entries;
-                sr.entriesDropped = st.droppedEntries;
-                if (st.damaged()) {
-                    sr.note = st.sawPoison
-                                  ? "clobber log poisoned"
-                                  : "clobber log corrupted mid-log";
-                } else {
-                    sr.note = "zero-fence log writer: inputs not "
-                              "provably restored, not re-executed";
-                }
-                recordSlot(std::move(sr));
+                declareRestoreAbort(tid, st);
             } else {
                 interrupted.push_back(tid);
             }
@@ -254,36 +311,8 @@ ClobberRuntime::recover()
     // Phase 2: rebuild the allocator's volatile state from the (now
     // reverted) bitmap, then re-execute each transaction to completion.
     rebuildHeap();
-    for (unsigned tid : interrupted) {
-        try {
-            reexecuteSlot(tid);
-            txn::SlotRecovery sr;
-            sr.tid = tid;
-            sr.action = txn::SlotAction::reexecuted;
-            recordSlot(std::move(sr));
-        } catch (const nvm::MediaFaultError& e) {
-            // A guarded input load hit a poisoned line mid-txfunc
-            // (CrashInjected propagates: that is the torture harness
-            // tearing the pool, not a media fault).
-            abortReexecution(tid, e.what());
-        } catch (const txn::LogOverflowError& e) {
-            // The interrupted transaction crashed before its own
-            // overflow point; the full re-execution hit it. Same
-            // resolution as a voluntary abort: restore and abandon.
-            abortReexecution(tid, e.what());
-        } catch (const alloc::CorruptBlockError& e) {
-            // Commit-time intent persist tripped on a block whose
-            // header no longer validates; wall it off so the damage
-            // cannot spread through the free list.
-            heap_.quarantine(e.payloadOff() - sizeof(alloc::BlockHeader),
-                             alloc::kGranule, alloc::kQuarCorruptHeader);
-            if (report_ != nullptr) {
-                report_->quarantinedBlocks++;
-                report_->quarantinedBytes += alloc::kGranule;
-            }
-            abortReexecution(tid, e.what());
-        }
-    }
+    for (unsigned tid : interrupted)
+        reexecuteGuarded(tid);
     return session.take();
 }
 

@@ -79,12 +79,27 @@ class ClobberRuntime : public RuntimeBase {
      */
     void appendClobberEntry(unsigned tid, void* dst, size_t n);
 
+    /**
+     * Interrupted transaction: restore its clobbered inputs, then —
+     * unless the log was damaged or an eliding writer was active —
+     * re-execute the txfunc to completion on the calling thread.
+     * Unlike the two-phase recover() there is no separate heap
+     * rebuild between restore and re-execution: under lazy recovery
+     * the allocator's incremental scan is already live.
+     */
+    void healOngoing(unsigned tid) override;
+
     ClobberPolicy policy_;
     bool clobberLogEnabled_ = true;
-    /** True while a txfunc re-executes during recovery. Guarded loads
-     *  (media faults) are only armed in this window; shared with the
-     *  iDO runtime's load path. */
-    bool recovering_ = false;
+    /**
+     * True while a txfunc re-executes during recovery. Guarded loads
+     * (media faults) are only armed in this window; shared with the
+     * iDO runtime's load path. Thread-local: a background healer's
+     * re-execution must not flip foreground transactions on other
+     * threads into recovery semantics (their guarded loads would arm
+     * and their txfuncs would skip volatile out-pointers).
+     */
+    static thread_local bool recovering_;
 
  private:
     /** Restore clobbered inputs, revert intents (phase 1 of
@@ -94,6 +109,13 @@ class ClobberRuntime : public RuntimeBase {
     void reexecuteSlot(unsigned tid);
     /** Roll back a partially re-executed slot and abandon it. */
     void abortReexecution(unsigned tid, const char* why);
+    /** Record the restore-only salvage abort (damaged log / eliding
+     *  writer: inputs not provably restored, not re-executed). */
+    void declareRestoreAbort(unsigned tid,
+                             const salvage::ScanStats& st);
+    /** reexecuteSlot inside the recovery catch set (media fault,
+     *  overflow, corrupt block -> abort + declare). */
+    void reexecuteGuarded(unsigned tid);
 
     bool vlogEnabled_ = true;
 };

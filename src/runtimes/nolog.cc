@@ -75,4 +75,17 @@ NoLogRuntime::recover()
     return session.take();
 }
 
+txn::RecoveryIndex
+NoLogRuntime::recoveryTriage()
+{
+    txn::RecoveryIndex idx;
+    idx.supportsLazy = true;
+    idx.heapPending = true;
+    for (SlotState& s : slots_) {
+        s.inTx = false;
+        s.resetTx();
+    }
+    return idx;
+}
+
 }  // namespace cnvm::rt

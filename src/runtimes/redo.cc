@@ -184,73 +184,97 @@ RedoRuntime::txAbort(unsigned tid)
     s.resetTx();
 }
 
+void
+RedoRuntime::resetVolatileSlot(unsigned tid)
+{
+    RuntimeBase::resetVolatileSlot(tid);
+    writeMaps_[tid].clear();
+}
+
+void
+RedoRuntime::skipSeq(unsigned tid)
+{
+    TxDescriptor& d = desc(tid);
+    uint64_t seq = d.txSeq + 16;
+    pool_.write(&d.txSeq, &seq, sizeof(seq));
+    pool_.flush(&d.txSeq, sizeof(seq));
+}
+
+void
+RedoRuntime::triageSlot(unsigned tid, txn::SlotClass cls)
+{
+    // Pending slots skip inside their heal instead: the skip must not
+    // invalidate the very log entries the heal still has to replay.
+    if (cls == txn::SlotClass::clean)
+        skipSeq(tid);
+}
+
+void
+RedoRuntime::triageFinish()
+{
+    pool_.fence();
+}
+
+void
+RedoRuntime::healOneSlot(unsigned tid, txn::SlotClass cls)
+{
+    RuntimeBase::healOneSlot(tid, cls);
+    // Protect the healed slot's sequence before it can be re-admitted
+    // (idempotent: healing twice just skips twice).
+    skipSeq(tid);
+    pool_.fence();
+}
+
+void
+RedoRuntime::healCommitting(unsigned tid)
+{
+    // Roll forward: replay the log in order, finish intents. Every
+    // entry was flushed and drained by the commit-path fence *before*
+    // the commit record, so in this state an incomplete scan — damage
+    // or even a clean-looking torn tail — can only mean media
+    // corruption, and a partial replay would expose a half-applied
+    // transaction.
+    salvage::ScanStats st;
+    const auto& entries = scanLog(tid, &st);
+    txn::SlotRecovery sr;
+    sr.tid = tid;
+    sr.entriesDropped = st.droppedEntries;
+    if (st.damaged() || st.tornTail) {
+        recoverIntents(tid, /* committed */ false);
+        salvageResetSlot(tid);
+        sr.action = txn::SlotAction::salvageAborted;
+        sr.note = "committed transaction lost: redo log " +
+                  std::string(st.sawPoison ? "poisoned" : "corrupted");
+    } else {
+        for (const auto& e : entries) {
+            if (e.targetOff == kMarkerOff)
+                continue;
+            pool_.writeAt(e.targetOff, e.data, e.len);
+            pool_.flush(pool_.at(e.targetOff), e.len);
+            sr.entriesApplied++;
+        }
+        pool_.fence();
+        reapplyAllocIntents(tid);
+        recoverIntents(tid, /* committed */ true);
+        persistIdle(tid);
+        sr.action = txn::SlotAction::rolledForward;
+        stats::bump(stats::Counter::recoveries);
+    }
+    recordSlot(std::move(sr));
+}
+
 txn::RecoveryReport
 RedoRuntime::recover()
 {
+    // The lazy path's heal loop run to completion inline. healOneSlot
+    // fences each slot's sequence skip individually where the old
+    // monolithic pass batched them behind one fence — a few extra
+    // recovery-time fences buy one shared code path.
     RecoverySession session(*this);
     for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
-        if (!slotRecoverable(tid)) {
-            slot(tid) = SlotState{};
-            writeMaps_[tid].clear();
-            continue;
-        }
-        TxDescriptor& d = desc(tid);
-        if (d.status == static_cast<uint64_t>(TxStatus::committing)) {
-            // Roll forward: replay the log in order, finish intents.
-            // Every entry was flushed and drained by the commit-path
-            // fence *before* the commit record, so in this state an
-            // incomplete scan — damage or even a clean-looking torn
-            // tail — can only mean media corruption, and a partial
-            // replay would expose a half-applied transaction.
-            salvage::ScanStats st;
-            const auto& entries = scanLog(tid, &st);
-            txn::SlotRecovery sr;
-            sr.tid = tid;
-            sr.entriesDropped = st.droppedEntries;
-            if (st.damaged() || st.tornTail) {
-                recoverIntents(tid, /* committed */ false);
-                salvageResetSlot(tid);
-                sr.action = txn::SlotAction::salvageAborted;
-                sr.note = "committed transaction lost: redo log " +
-                          std::string(st.sawPoison ? "poisoned"
-                                                   : "corrupted");
-            } else {
-                for (const auto& e : entries) {
-                    if (e.targetOff == kMarkerOff)
-                        continue;
-                    pool_.writeAt(e.targetOff, e.data, e.len);
-                    pool_.flush(pool_.at(e.targetOff), e.len);
-                    sr.entriesApplied++;
-                }
-                pool_.fence();
-                reapplyAllocIntents(tid);
-                recoverIntents(tid, /* committed */ true);
-                persistIdle(tid);
-                sr.action = txn::SlotAction::rolledForward;
-                stats::bump(stats::Counter::recoveries);
-            }
-            recordSlot(std::move(sr));
-        } else {
-            // Crashed between intent persistence and the commit
-            // record: the transaction is discarded, revert its allocs.
-            recoverIdleIntents(tid, /* committed */ false);
-        }
-        slot(tid) = SlotState{};
-        writeMaps_[tid].clear();
+        healOneSlot(tid, txn::SlotClass::clean);
+        resetVolatileSlot(tid);
     }
-    // Redo begins do not fence the sequence-number write, so a torn
-    // crash can revert txSeq to its previous durable value and the
-    // next transaction would *reuse* the crashed transaction's
-    // sequence number — making that transaction's stale log-tail
-    // entries validate during a later replay. Skip the sequence
-    // numbers well past anything that can be in flight.
-    for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
-        TxDescriptor& d = desc(tid);
-        uint64_t seq = d.txSeq + 16;
-        pool_.write(&d.txSeq, &seq, sizeof(seq));
-        pool_.flush(&d.txSeq, sizeof(seq));
-    }
-    pool_.fence();
     rebuildHeap();
     return session.take();
 }

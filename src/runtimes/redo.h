@@ -40,9 +40,41 @@ class RedoRuntime : public RuntimeBase {
     void txAbort(unsigned tid) override;
     txn::RecoveryReport recover() override;
 
+ protected:
+    /** Also drops the slot's volatile write set. */
+    void resetVolatileSlot(unsigned tid) override;
+
+    /**
+     * Redo begins do not fence the sequence-number write, so a torn
+     * crash can revert txSeq to its previous durable value and the
+     * next transaction would *reuse* the crashed transaction's
+     * sequence number — making that transaction's stale log-tail
+     * entries validate during a later replay. Every recovery
+     * therefore skips each slot's sequence well past anything that
+     * can be in flight: clean slots during triage (fenced together
+     * by triageFinish), pending slots as part of their heal (fenced
+     * per slot — each must be protected before it is re-admitted).
+     */
+    void triageSlot(unsigned tid, txn::SlotClass cls) override;
+    void triageFinish() override;
+    void healOneSlot(unsigned tid, txn::SlotClass cls) override;
+
+    /** Committing slot: replay the redo log forward. */
+    void healCommitting(unsigned tid) override;
+
+    /** No commit record: the transaction is discarded; revert any
+     *  persisted allocation intents. */
+    void healIdle(unsigned tid) override
+    {
+        recoverIdleIntents(tid, /* committed */ false);
+    }
+
  private:
     /** Effective 8-byte word at `wordOff` (write set wins over home). */
     uint64_t effectiveWord(unsigned tid, uint64_t wordOff) const;
+
+    /** Bump the slot's txSeq by 16 (write + flush; caller fences). */
+    void skipSeq(unsigned tid);
 
     /** Per-slot volatile write set: word offset -> buffered value. */
     std::vector<std::unordered_map<uint64_t, uint64_t>> writeMaps_;

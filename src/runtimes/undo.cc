@@ -132,20 +132,14 @@ UndoRuntime::rollbackSlot(unsigned tid)
 txn::RecoveryReport
 UndoRuntime::recover()
 {
+    // Stop-the-world recovery is the lazy path's heal loop run to
+    // completion inline: the same healOneSlot dispatch (vet the
+    // descriptor, roll ongoing slots back, finish idle slots' intent
+    // tables) over every slot, then the full heap rebuild.
     RecoverySession session(*this);
     for (unsigned tid = 0; tid < pool_.maxThreads(); tid++) {
-        if (!slotRecoverable(tid)) {
-            slot(tid) = SlotState{};
-            continue;
-        }
-        if (isOngoing(tid)) {
-            rollbackSlot(tid);
-        } else {
-            // Crashed between the commit point and free completion
-            // (live table), or the table itself went bad.
-            recoverIdleIntents(tid, /* committed */ true);
-        }
-        slot(tid) = SlotState{};
+        healOneSlot(tid, txn::SlotClass::clean);
+        resetVolatileSlot(tid);
     }
     rebuildHeap();
     return session.take();

@@ -40,6 +40,9 @@ class UndoRuntime : public RuntimeBase {
 
     /** Roll back one slot (shared with AtlasRuntime::recover). */
     void rollbackSlot(unsigned tid);
+
+    /** Interrupted transaction: replay the undo log in reverse. */
+    void healOngoing(unsigned tid) override { rollbackSlot(tid); }
 };
 
 }  // namespace cnvm::rt

@@ -244,10 +244,16 @@ void
 KvService::workerLoop(unsigned w)
 {
     Worker& wk = *workers_[w];
-    kv_.engine().bindThisThread(cfg_.slotBase + w);
+    unsigned slot = cfg_.slotBase + w;
+    kv_.engine().bindThisThread(slot);
 
     std::vector<Request*> local;
     for (;;) {
+        // Lazy-recovery first-touch gate. txn::run repeats this for
+        // mutations, but gets bypass txn::run entirely — and even they
+        // must not serve from a slot whose interrupted transaction has
+        // not healed. One pointer test once recovery is over.
+        kv_.engine().admitSlot(slot);
         local.clear();
         {
             std::unique_lock<std::mutex> g(wk.mu);

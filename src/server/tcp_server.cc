@@ -307,6 +307,13 @@ TcpServer::handleConnection(int fd)
                 stat("svc_overflows", sv.overflows);
                 stat("svc_workers", svc_.workers());
                 stat("svc_batch_max", svc_.batchMax());
+                // Lazy-recovery progress: pending/healed heal work
+                // items (slots + the heap pass); all zero after
+                // finishRecovery or under full recovery.
+                auto& eng = kv_.engine();
+                stat("recovery_active", eng.recoveryActive() ? 1 : 0);
+                stat("recovery_pending", eng.recoveryPending());
+                stat("recovery_healed", eng.recoveryHealed());
                 out += "END\r\n";
                 break;
             }

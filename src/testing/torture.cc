@@ -171,6 +171,26 @@ TortureRig::enableFaults(const FaultSpec& spec)
 }
 
 void
+TortureRig::recoverOnce()
+{
+    if (recMode_ != txn::RecoveryMode::lazy) {
+        lastReport_ = runtime_->recover();
+        return;
+    }
+    // Instant-restart path, driven deterministically on this thread:
+    // triage, then first-touch admission of every slot (each heals its
+    // pending entry inline), then settle — which heals anything left
+    // plus the incremental heap rebuild and folds the cumulative
+    // report into the engine. A trap firing anywhere inside leaves
+    // the session resumable: the next recover() re-triages.
+    engine_->recover(txn::RecoveryMode::lazy,
+                     /* backgroundHealer */ false);
+    for (unsigned t = 0; t < pool_->maxThreads(); t++)
+        engine_->admitSlot(t);
+    lastReport_ = engine_->finishRecovery();
+}
+
+void
 TortureRig::crashAndRecover(Tear tear, uint64_t seed,
                             const nvm::CrashParams& params,
                             int recoveryRetears)
@@ -188,7 +208,7 @@ TortureRig::crashAndRecover(Tear tear, uint64_t seed,
         // walks forward per round to sample different windows.
         sched_->arm(7 + 13 * static_cast<uint64_t>(r));
         try {
-            lastReport_ = runtime_->recover();
+            recoverOnce();
             sched_->disarm();
             return;  // recovery outran the trap
         } catch (const nvm::CrashInjected&) {
@@ -196,7 +216,7 @@ TortureRig::crashAndRecover(Tear tear, uint64_t seed,
             pool_->simulateCrashAllLost();
         }
     }
-    lastReport_ = runtime_->recover();
+    recoverOnce();
 }
 
 std::string
@@ -224,6 +244,7 @@ exhaustiveSweep(txn::RuntimeKind kind, const std::string& structure,
 {
     SweepResult res;
     auto rig = std::make_unique<TortureRig>(kind, structure);
+    rig->setRecoveryMode(cfg.recovery);
     std::vector<CommittedOp> history;
     uint64_t usedOps = 0;
 
@@ -241,6 +262,7 @@ exhaustiveSweep(txn::RuntimeKind kind, const std::string& structure,
     auto rebuildRig = [&] {
         rig.reset();  // LIFO pool-slot nesting: destroy before create
         rig = std::make_unique<TortureRig>(kind, structure);
+        rig->setRecoveryMode(cfg.recovery);
         try {
             for (const CommittedOp& op : history) {
                 if (op.isInsert) {
@@ -580,6 +602,7 @@ mediaFaultSweep(txn::RuntimeKind kind, const std::string& structure,
         // Every case is a fresh rig: faults from one case must never
         // bleed into the next, and a failing index replays exactly.
         TortureRig rig(kind, structure, cfg.poolBytes);
+        rig.setRecoveryMode(cfg.recovery);
         FaultSpec fs = cfg.faults;
         fs.enabled = true;
         fs.seed = cfg.seed * 0x9e3779b97f4a7c15ULL + k;
@@ -794,6 +817,7 @@ runFuzzCase(txn::RuntimeKind kind, const std::string& structure,
 {
     CaseResult res;
     TortureRig rig(kind, structure);
+    rig.setRecoveryMode(cfg.recovery);
     if (cfg.faults.enabled) {
         FaultSpec fs = cfg.faults;
         fs.seed = cfg.faults.seed * 0x9e3779b97f4a7c15ULL +

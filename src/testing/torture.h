@@ -95,10 +95,20 @@ class TortureRig {
      * enabled) and run recovery, capturing lastReport(). With
      * recoveryRetears > 0, recovery is crash-armed and re-torn up to
      * that many times first (each re-tear another injection round).
+     *
+     * Under RecoveryMode::lazy the crash recovers through the engine:
+     * triage, then first-touch admission of every slot, then
+     * finishRecovery() — so the sweeps audit the exact same images
+     * through the instant-restart path, re-tears landing inside
+     * triage and the heal drain alike.
      */
     void crashAndRecover(Tear tear, uint64_t seed,
                          const nvm::CrashParams& params,
                          int recoveryRetears = 0);
+
+    /** Recovery mode used by crashAndRecover (default: full). */
+    void setRecoveryMode(txn::RecoveryMode m) { recMode_ = m; }
+    txn::RecoveryMode recoveryMode() const { return recMode_; }
 
     /** The report of the most recent crashAndRecover(). */
     const txn::RecoveryReport& lastReport() const { return lastReport_; }
@@ -125,7 +135,10 @@ class TortureRig {
     std::unique_ptr<CrashScheduler> sched_;
     ShadowOracle shadow_;
     size_t baselineFree_ = 0;
+    txn::RecoveryMode recMode_ = txn::RecoveryMode::full;
     txn::RecoveryReport lastReport_;
+
+    void recoverOnce();
 };
 
 struct SweepConfig {
@@ -145,6 +158,9 @@ struct SweepConfig {
     /** Optional op budget; 0 = unlimited. The sweep stops early
      *  (result.truncated) when the budget runs out. */
     uint64_t budget = 0;
+    /** Recovery path every crash goes through (lazy: triage +
+     *  first-touch + settle — same audits, instant-restart path). */
+    txn::RecoveryMode recovery = txn::RecoveryMode::full;
 };
 
 struct SweepResult {
@@ -192,6 +208,8 @@ struct MediaSweepConfig {
     uint64_t budget = 0;
     /** Pool size per case (each case is a fresh rig). */
     size_t poolBytes = 8ULL << 20;
+    /** Recovery path every crash goes through. */
+    txn::RecoveryMode recovery = txn::RecoveryMode::full;
 };
 
 struct MediaSweepResult {
@@ -244,6 +262,8 @@ struct FuzzConfig {
      *  declares salvage aborts ends early (usability-probed, not
      *  oracle-verified) — the declaration is the contract. */
     FaultSpec faults{};
+    /** Recovery path every crash goes through. */
+    txn::RecoveryMode recovery = txn::RecoveryMode::full;
 };
 
 /** Outcome of one fuzz case replay. */

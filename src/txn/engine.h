@@ -15,10 +15,14 @@
 #ifndef CNVM_TXN_ENGINE_H
 #define CNVM_TXN_ENGINE_H
 
+#include <memory>
+
 #include "common/error.h"
 #include "txn/runtime.h"
 
 namespace cnvm::txn {
+
+class LazyRecovery;
 
 /**
  * A thread tried to bind a runtime slot the pool does not have.
@@ -77,13 +81,81 @@ struct Engine {
      *  (default-constructed until one runs). */
     RecoveryReport lastRecovery;
 
-    /** Run recovery and keep its report in lastRecovery. */
+    /**
+     * Run recovery and keep its report in lastRecovery. The mode comes
+     * from CNVM_RECOVERY (full unless set to "lazy"); see the
+     * two-argument overload for what lazy returns.
+     */
     RecoveryReport
     recover()
     {
-        lastRecovery = rt.recover();
-        return lastRecovery;
+        return recover(recoveryModeFromEnv(), true);
     }
+
+    /**
+     * Run recovery in `mode`.
+     *
+     * Full mode (or a runtime whose triage declines lazy support) is
+     * the classic stop-the-world Runtime::recover().
+     *
+     * Lazy mode runs the bounded triage pass, arms the allocator's
+     * incremental rebuild, pins triaged hold ranges, and returns
+     * immediately — transactions are admitted from that moment on.
+     * Pending slots heal on first touch (admitSlot) or from the
+     * background salvage thread (`backgroundHealer`; tests that want
+     * deterministic heal ordering pass false and drive admitSlot /
+     * finishRecovery themselves). The returned report covers only the
+     * triage pass; the cumulative report accretes in the session and
+     * lands in lastRecovery at finishRecovery().
+     */
+    RecoveryReport recover(RecoveryMode mode,
+                           bool backgroundHealer = true);
+
+    /**
+     * First-touch admission gate, called by txn::run before every
+     * txBegin (and by server workers before serving). A single
+     * pointer test outside recovery; during lazy recovery it blocks
+     * until the slot's pending entry (if any) has healed.
+     */
+    void
+    admitSlot(unsigned tid)
+    {
+        if (lazy_) [[unlikely]]
+            admitSlotSlow(tid);
+    }
+
+    /**
+     * Complete an in-flight lazy recovery: stop the healer, heal
+     * everything still pending on the calling thread, fold the
+     * cumulative report into lastRecovery, and end the session.
+     * Caller must quiesce foreground transactions first (the session
+     * pointer is cleared without synchronization). No-op when no lazy
+     * session is active.
+     */
+    RecoveryReport finishRecovery();
+
+    /**
+     * Heal everything still pending on the calling thread without
+     * ending the session (no quiesce needed: the session pointer is
+     * not touched, so concurrent admitSlot calls stay safe). Used
+     * when the background healer died mid-recovery.
+     */
+    void drainRecovery();
+
+    /** Is a lazy session active with work still pending? */
+    bool recoveryActive() const;
+
+    /** Heal work items (pending slots + heap pass) not yet / already
+     *  healed in the active lazy session (0 / 0 when none). */
+    uint64_t recoveryPending() const;
+    uint64_t recoveryHealed() const;
+
+    /** Did the active session's background healer die? */
+    bool recoveryHealerDied() const;
+
+    /** Cumulative report so far: lastRecovery merged with the active
+     *  session's per-entry heals. */
+    RecoveryReport recoveryReport() const;
 
     unsigned tid() const { return currentTid(); }
 
@@ -94,6 +166,14 @@ struct Engine {
      * @throws SlotRangeError on an out-of-range slot.
      */
     void bindThisThread(unsigned tid) const;
+
+ private:
+    void admitSlotSlow(unsigned tid);
+
+    /** Active lazy-recovery session (null outside one). shared_ptr so
+     *  engine copies — tests and benches pass Engine by value — share
+     *  the one session. */
+    std::shared_ptr<LazyRecovery> lazy_;
 };
 
 }  // namespace cnvm::txn

@@ -1,0 +1,36 @@
+#include "txn/recovery_index.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cnvm::txn {
+
+RecoveryMode
+recoveryModeFromEnv()
+{
+    if (const char* v = std::getenv("CNVM_RECOVERY"))
+        if (std::strcmp(v, "lazy") == 0)
+            return RecoveryMode::lazy;
+    return RecoveryMode::full;
+}
+
+const char*
+recoveryModeName(RecoveryMode m)
+{
+    return m == RecoveryMode::lazy ? "lazy" : "full";
+}
+
+const char*
+slotClassName(SlotClass c)
+{
+    switch (c) {
+        case SlotClass::clean: return "clean";
+        case SlotClass::ongoing: return "ongoing";
+        case SlotClass::committing: return "committing";
+        case SlotClass::idleIntents: return "idle-intents";
+        case SlotClass::damaged: return "damaged";
+    }
+    return "?";
+}
+
+}  // namespace cnvm::txn

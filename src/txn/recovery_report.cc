@@ -1,5 +1,7 @@
 #include "txn/recovery_report.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace cnvm::txn {
@@ -27,6 +29,21 @@ RecoveryReport::add(SlotRecovery s)
     if (s.action == SlotAction::salvageAborted)
         salvageAborted++;
     slots.push_back(std::move(s));
+}
+
+void
+RecoveryReport::merge(const RecoveryReport& other)
+{
+    slotsScanned = std::max(slotsScanned, other.slotsScanned);
+    logEntriesApplied += other.logEntriesApplied;
+    logEntriesDropped += other.logEntriesDropped;
+    poisonedReads += other.poisonedReads;
+    transientRetries += other.transientRetries;
+    quarantinedBlocks += other.quarantinedBlocks;
+    quarantinedBytes += other.quarantinedBytes;
+    intentTablesLost += other.intentTablesLost;
+    salvageAborted += other.salvageAborted;
+    slots.insert(slots.end(), other.slots.begin(), other.slots.end());
 }
 
 std::string

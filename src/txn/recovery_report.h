@@ -80,6 +80,15 @@ struct RecoveryReport {
     /** Record a per-slot outcome and fold it into the counters. */
     void add(SlotRecovery s);
 
+    /**
+     * Fold another pass's report into this one (lazy recovery merges
+     * one per-entry heal report at a time into a cumulative report).
+     * Counters sum except slotsScanned, which takes the max: every
+     * heal examines a subset of the same slot universe the triage
+     * pass already counted, and per-entry heals report 0 there.
+     */
+    void merge(const RecoveryReport& other);
+
     /** Multi-line human-readable summary (tools, test logs). */
     std::string toString() const;
 };

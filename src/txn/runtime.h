@@ -20,6 +20,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "txn/recovery_index.h"
 #include "txn/recovery_report.h"
 
 namespace cnvm::alloc {
@@ -145,6 +146,38 @@ class Runtime {
      * crash on healthy media yields a report with clean() == true).
      */
     virtual RecoveryReport recover() = 0;
+
+    /**
+     * Bounded triage pass for lazy (instant-restart) recovery: scan
+     * the per-slot descriptors just enough to classify each slot and
+     * collect the heap ranges that must stay pinned until their slot
+     * heals. Idempotent — interrupt it anywhere and a re-run rebuilds
+     * the identical index from the same on-media state. The default
+     * (supportsLazy == false) makes Engine::recover fall back to the
+     * stop-the-world recover() above.
+     */
+    virtual RecoveryIndex recoveryTriage() { return {}; }
+
+    /**
+     * Heal one triaged slot: the per-entry slice of recover() — roll
+     * back, roll forward, or re-execute exactly that slot, salvaging
+     * damage with the same declarations full recovery would make.
+     * Re-derives the slot's state from media (the entry's class is
+     * advisory), so healing a slot twice, or healing after a crash
+     * that landed mid-heal, is idempotent.
+     */
+    virtual RecoveryReport healSlot(const IndexEntry& /* entry */)
+    {
+        return {};
+    }
+
+    /**
+     * Final heap reconciliation for lazy recovery: the full allocator
+     * rebuild (quarantine audit included), run once after every index
+     * entry has healed. Safe to run while foreground transactions are
+     * in flight — live reservations are preserved.
+     */
+    virtual RecoveryReport healHeap() { return {}; }
 
     /**
      * True while recover() is re-executing an interrupted txfunc

@@ -26,6 +26,10 @@ run(Engine& eng, FuncId fid, const Args&... args)
     ArgWriter w;
     (writeArg(w, args), ...);
     unsigned tid = eng.tid();
+    // Lazy recovery's first-touch gate: the slot's pending heal (if
+    // any) must complete before a new transaction can scribble over
+    // its descriptor and log area.
+    eng.admitSlot(tid);
     eng.rt.txBegin(tid, fid, w.bytes());
     Tx tx(eng.rt, tid);
     ArgReader r(eng.rt.argBlob(tid));

@@ -372,6 +372,211 @@ TEST(IntentSalvage, PoisonedIntentTableIsDeclaredLost)
 }
 
 // ---------------------------------------------------------------
+// Instant restart: the triage / heal split behind lazy recovery.
+// Every protocol's full recover() is now triage + healSlot per slot
+// + healHeap; these tests pin the pieces individually.
+// ---------------------------------------------------------------
+
+/**
+ * Crash a push on slot 0 at successive event indices until the torn
+ * image actually leaves the slot pending (a crash before the status
+ * line durably flipped reverts to a clean slot, which triage rightly
+ * ignores). Attempts that land clean are recovered and retried.
+ * @return false if the sweep runs out of crash points.
+ */
+bool
+crashUntilTriagePending(Harness& h, CrashScheduler& sched,
+                        txn::Engine& eng)
+{
+    for (uint64_t v = 1; v <= 4; v++)
+        txn::run(eng, kPushNode, h.rootPtr().raw(), v);
+    for (uint64_t k = 5; k < 1500; k++) {
+        sched.arm(k);
+        bool crashed = false;
+        try {
+            txn::run(eng, kPushNode, h.rootPtr().raw(), uint64_t{50});
+        } catch (const nvm::CrashInjected&) {
+            crashed = true;
+        }
+        sched.disarm();
+        if (!crashed)
+            return false;  // swept past every event of the push
+        h.pool->cache().crashAllLost();
+        if (!h.runtime->recoveryTriage().entries.empty())
+            return true;
+        h.runtime->recover();  // clean image: discard, next index
+    }
+    return false;
+}
+
+/**
+ * Triage must be repeatable: running it twice over the same torn
+ * image yields the same classification, and it never touches the
+ * dirty slot's durable state (healing is a separate, later step).
+ */
+TEST(LazyTriage, TriageIsStableAndLeavesDirtySlotsUntouched)
+{
+    for (RuntimeKind kind :
+         {RuntimeKind::undo, RuntimeKind::redo, RuntimeKind::clobber,
+          RuntimeKind::atlas, RuntimeKind::ido}) {
+        SCOPED_TRACE(static_cast<int>(kind));
+        Harness h(kind);
+        CrashScheduler sched(*h.pool);
+        auto eng = h.engine();
+        ASSERT_TRUE(crashUntilTriagePending(h, sched, eng));
+
+        rt::TxDescriptor before = desc0(h);
+        txn::RecoveryIndex a = h.runtime->recoveryTriage();
+        txn::RecoveryIndex b = h.runtime->recoveryTriage();
+        EXPECT_TRUE(a.supportsLazy);
+        ASSERT_EQ(a.entries.size(), b.entries.size());
+        for (size_t i = 0; i < a.entries.size(); i++) {
+            EXPECT_EQ(a.entries[i].tid, b.entries[i].tid);
+            EXPECT_EQ(static_cast<int>(a.entries[i].cls),
+                      static_cast<int>(b.entries[i].cls));
+        }
+        ASSERT_FALSE(a.entries.empty());
+        EXPECT_EQ(a.entries[0].tid, 0u);
+        rt::TxDescriptor& after = desc0(h);
+        EXPECT_EQ(after.status, before.status);
+        EXPECT_EQ(after.txSeq, before.txSeq);
+
+        // The untouched image still heals fully.
+        h.runtime->recover();
+        EXPECT_TRUE(h.listLen() == 4 || h.listLen() == 5);
+        EXPECT_EQ(h.root().sum, h.listSum());
+    }
+}
+
+/**
+ * healSlot is the per-entry heal step: applying it to every triaged
+ * entry plus one healHeap must equal a full recover(), and applying
+ * it twice must change nothing (the heal re-derives the slot's class
+ * from the media, and a healed slot is simply clean).
+ */
+TEST(LazyHeal, PerEntryHealsAreCompleteAndIdempotent)
+{
+    for (RuntimeKind kind :
+         {RuntimeKind::undo, RuntimeKind::redo, RuntimeKind::clobber,
+          RuntimeKind::atlas, RuntimeKind::ido}) {
+        SCOPED_TRACE(static_cast<int>(kind));
+        Harness h(kind);
+        CrashScheduler sched(*h.pool);
+        auto eng = h.engine();
+        ASSERT_TRUE(crashUntilTriagePending(h, sched, eng));
+
+        txn::RecoveryIndex idx = h.runtime->recoveryTriage();
+        ASSERT_FALSE(idx.entries.empty());
+        for (const txn::IndexEntry& e : idx.entries)
+            h.runtime->healSlot(e);
+        size_t len = h.listLen();
+        uint64_t sum = h.root().sum;
+        EXPECT_TRUE(len == 4 || len == 5);
+        EXPECT_EQ(sum, h.listSum());
+        // Healing an already-healed entry is a no-op.
+        for (const txn::IndexEntry& e : idx.entries)
+            h.runtime->healSlot(e);
+        EXPECT_EQ(h.listLen(), len);
+        EXPECT_EQ(h.root().sum, sum);
+        h.runtime->healHeap();
+
+        EXPECT_TRUE(h.runtime->recover().clean());
+        txn::run(eng, kPushNode, h.rootPtr().raw(), uint64_t{999});
+        EXPECT_EQ(h.listLen(), len + 1);
+    }
+}
+
+/**
+ * Exhaustive re-tear of the lazy path itself: arm the crash trap at
+ * every event index inside triage + first-touch heals + settle,
+ * re-tearing after each trap, until a full lazy recovery runs quiet.
+ * Every retry re-triages from scratch; the final state must satisfy
+ * the protocol's atomicity contract.
+ */
+TEST(LazyReTear, LazyRecoverySurvivesCrashesAtEveryIndex)
+{
+    for (RuntimeKind kind :
+         {RuntimeKind::undo, RuntimeKind::redo, RuntimeKind::clobber,
+          RuntimeKind::atlas, RuntimeKind::ido}) {
+        SCOPED_TRACE(static_cast<int>(kind));
+        Harness h(kind);
+        CrashScheduler sched(*h.pool);
+        auto eng = h.engine();
+        ASSERT_TRUE(crashUntilTriagePending(h, sched, eng));
+
+        int recoveryCrashes = 0;
+        for (uint64_t k = 1; k < 800; k++) {
+            sched.arm(k);
+            bool recCrashed = false;
+            try {
+                eng.recover(txn::RecoveryMode::lazy,
+                            /* backgroundHealer */ false);
+                for (unsigned t = 0; t < h.pool->maxThreads(); t++)
+                    eng.admitSlot(t);
+                eng.finishRecovery();
+            } catch (const nvm::CrashInjected&) {
+                recCrashed = true;
+                recoveryCrashes++;
+            }
+            sched.disarm();
+            if (!recCrashed)
+                break;
+            h.pool->cache().crashAllLost();
+        }
+        EXPECT_GT(recoveryCrashes, 0);
+        EXPECT_EQ(eng.recoveryPending(), 0u);
+        EXPECT_TRUE(h.listLen() == 4 || h.listLen() == 5);
+        EXPECT_EQ(h.root().sum, h.listSum());
+        EXPECT_TRUE(h.runtime->recover().clean());
+    }
+}
+
+/**
+ * Triaged hold ranges pin suspect heap blocks out of the free map
+ * until the owning slot's entry heals; settling the session releases
+ * everything and reconciles the heap.
+ */
+TEST(LazyHolds, IntentHoldsPinnedUntilEntryHeals)
+{
+    Harness h(RuntimeKind::undo);
+    auto eng = h.engine();
+    txn::run(eng, kPushNode, h.rootPtr().raw(), uint64_t{1});
+
+    // Stage a live intent table on the idle slot: triage must report
+    // the slot pending and pin the intent's block as a hold range.
+    rt::TxDescriptor& d = desc0(h);
+    d.intentSeq = d.txSeq;
+    d.intentCount = 1;
+    d.intents[0].payloadOff = h.root().head.raw();
+    d.intents[0].payloadBytes = sizeof(TestNode);
+    d.intents[0].isFree = 0;
+    d.intentSum = rt::salvage::intentChecksum(d.intentSeq,
+                                              d.intentCount, d.intents);
+
+    txn::RecoveryIndex idx = h.runtime->recoveryTriage();
+    ASSERT_EQ(idx.entries.size(), 1u);
+    EXPECT_EQ(idx.entries[0].tid, 0u);
+    EXPECT_EQ(static_cast<int>(idx.entries[0].cls),
+              static_cast<int>(txn::SlotClass::idleIntents));
+    ASSERT_EQ(idx.holds.size(), 1u);
+    EXPECT_EQ(idx.holds[0].tid, 0u);
+
+    eng.recover(txn::RecoveryMode::lazy, /* backgroundHealer */ false);
+    EXPECT_EQ(h.heap->holdCount(), 1u);
+    EXPECT_GE(eng.recoveryPending(), 1u);
+
+    // First touch heals the entry and releases its holds.
+    eng.admitSlot(0);
+    EXPECT_EQ(h.heap->holdCount(), 0u);
+
+    eng.finishRecovery();
+    EXPECT_EQ(eng.recoveryPending(), 0u);
+    EXPECT_TRUE(h.runtime->recover().clean());
+    txn::run(eng, kPushNode, h.rootPtr().raw(), uint64_t{2});
+    EXPECT_EQ(h.listLen(), 2u);
+}
+
+// ---------------------------------------------------------------
 // Regression guards: the ordinary crash path stays clean, and the
 // report is surfaced through the engine.
 // ---------------------------------------------------------------

@@ -9,6 +9,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "stats/counters.h"
 #include "testing/crash_scheduler.h"
 #include "testing/torture.h"
@@ -302,6 +304,134 @@ INSTANTIATE_TEST_SUITE_P(Protocols, RecoveryIdempotence,
                                  return "mnemosyne";
                              }
                          });
+
+// ---------------------------------------------------------------
+// Instant restart (lazy recovery) under torture.
+// ---------------------------------------------------------------
+
+/** The budgeted crash sweep must also pass when every recovery goes
+ *  through the lazy path (triage + first-touch heals + settle). */
+TEST(LazyTorture, BudgetedLazySweepAllProtocols)
+{
+    for (RuntimeKind kind :
+         {RuntimeKind::clobber, RuntimeKind::undo, RuntimeKind::redo,
+          RuntimeKind::atlas, RuntimeKind::ido}) {
+        SweepConfig cfg;
+        cfg.tear = Tear::randomTear;
+        cfg.seed = 23;
+        cfg.budget = 250;
+        cfg.recovery = txn::RecoveryMode::lazy;
+        auto res = exhaustiveSweep(kind, "hashmap", cfg);
+        EXPECT_TRUE(res.passed)
+            << static_cast<int>(kind) << ": " << res.failure;
+        EXPECT_GT(res.crashes, 0u);
+    }
+}
+
+/** Media faults + crashes during recovery, all through the lazy
+ *  path: re-tears land inside triage and the heal drain. */
+TEST(LazyTorture, LazyMediaSweepWithRecoveryReTears)
+{
+    for (RuntimeKind kind : {RuntimeKind::clobber, RuntimeKind::undo}) {
+        torture::MediaSweepConfig cfg;
+        cfg.seed = 19;
+        cfg.budget = 50;
+        cfg.faults.duringRecoveryRounds = 2;
+        cfg.recovery = txn::RecoveryMode::lazy;
+        auto res = torture::mediaFaultSweep(kind, "list", cfg);
+        EXPECT_TRUE(res.passed)
+            << static_cast<int>(kind) << ": " << res.failure;
+    }
+}
+
+/**
+ * Real-thread race on the once-latch: after a crash, the background
+ * healer and a first-touch admission race to heal the SAME pending
+ * slot. Exactly one of them may run the heal — a double heal of a
+ * clobber slot would re-execute the transaction twice and the list
+ * invariants below would catch it.
+ */
+TEST(LazyTorture, FirstTouchRacesBackgroundHealerOnSameSlot)
+{
+    for (int iter = 0; iter < 6; iter++) {
+        Harness h(RuntimeKind::clobber);
+        CrashScheduler sched(*h.pool);
+        auto eng = h.engine();
+        for (uint64_t v = 1; v <= 4; v++)
+            txn::run(eng, kPushNode, h.rootPtr().raw(), v);
+        bool crashed = false;
+        // Vary the crash point per iteration so the heal the two
+        // threads race over differs (restore-only vs re-execute).
+        for (uint64_t k = 5 + 4 * static_cast<uint64_t>(iter);
+             k < 1500 && !crashed; k++) {
+            sched.arm(k);
+            try {
+                txn::run(eng, kPushNode, h.rootPtr().raw(),
+                         uint64_t{50});
+            } catch (const nvm::CrashInjected&) {
+                crashed = true;
+            }
+            sched.disarm();
+        }
+        ASSERT_TRUE(crashed);
+        h.pool->cache().crashAllLost();
+
+        eng.recover(txn::RecoveryMode::lazy,
+                    /* backgroundHealer */ true);
+        std::thread toucher([&eng] { eng.admitSlot(0); });
+        toucher.join();
+        eng.finishRecovery();
+
+        EXPECT_EQ(eng.recoveryPending(), 0u);
+        EXPECT_TRUE(h.listLen() == 4 || h.listLen() == 5)
+            << "iter " << iter << ": len " << h.listLen();
+        EXPECT_EQ(h.root().sum, h.listSum()) << "iter " << iter;
+        EXPECT_TRUE(h.runtime->recover().clean());
+    }
+}
+
+/**
+ * Stopping the healer mid-session must leave a resumable image: a
+ * lazy session that is abandoned (no settle) followed by a fresh
+ * lazy recovery — as after a second kill during recovery — heals to
+ * the same state.
+ */
+TEST(LazyTorture, AbandonedSessionReTriagesIdempotently)
+{
+    Harness h(RuntimeKind::undo);
+    CrashScheduler sched(*h.pool);
+    auto eng = h.engine();
+    for (uint64_t v = 1; v <= 4; v++)
+        txn::run(eng, kPushNode, h.rootPtr().raw(), v);
+    bool crashed = false;
+    for (uint64_t k = 5; k < 1500 && !crashed; k++) {
+        sched.arm(k);
+        try {
+            txn::run(eng, kPushNode, h.rootPtr().raw(), uint64_t{50});
+        } catch (const nvm::CrashInjected&) {
+            crashed = true;
+        }
+        sched.disarm();
+    }
+    ASSERT_TRUE(crashed);
+    h.pool->cache().crashAllLost();
+
+    // Triage-only session, abandoned without healing anything (no
+    // healer, no admits): the next recover() must start over cleanly.
+    eng.recover(txn::RecoveryMode::lazy, /* backgroundHealer */ false);
+    uint64_t pendingFirst = eng.recoveryPending();
+
+    eng.recover(txn::RecoveryMode::lazy, /* backgroundHealer */ false);
+    EXPECT_EQ(eng.recoveryPending(), pendingFirst);
+    for (unsigned t = 0; t < h.pool->maxThreads(); t++)
+        eng.admitSlot(t);
+    eng.finishRecovery();
+
+    EXPECT_EQ(eng.recoveryPending(), 0u);
+    EXPECT_TRUE(h.listLen() == 4 || h.listLen() == 5);
+    EXPECT_EQ(h.root().sum, h.listSum());
+    EXPECT_TRUE(h.runtime->recover().clean());
+}
 
 }  // namespace
 }  // namespace cnvm::test

@@ -19,7 +19,17 @@
  * mutations fused per transaction; 0 → $CNVM_BATCH, default 8),
  * --shards N, --lock rw|spin, --port 0 → ephemeral (published via
  * --port-file, atomically). CNVM_POOL_MB sizes a fresh pool.
+ *
+ * --recovery full|lazy (default: $CNVM_RECOVERY, else full) picks the
+ * restart mode. Lazy runs the bounded triage pass and starts serving
+ * immediately — the heap rebuild proceeds incrementally and pending
+ * slots heal on first touch or from the background salvage thread.
+ * The tool prints RECOVERY with the mode and triage time, READY with
+ * time-to-first-request (startup to listening), HEALING progress
+ * lines while the background drain runs, and HEALED when recovery is
+ * fully settled. `stats` exposes recovery_pending / recovery_healed.
  */
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -68,6 +78,7 @@ struct Options {
     std::string protocol = "clobber";
     std::string portFile;
     std::string lock = "rw";
+    std::string recovery;  ///< "", "full" or "lazy" ("" → env)
     unsigned port = 0;
     unsigned workers = 2;
     unsigned batch = 0;
@@ -81,9 +92,18 @@ usage(const char* argv0)
         stderr,
         "usage: %s [--pool PATH] [--protocol NAME] [--port N]\n"
         "          [--port-file PATH] [--workers N] [--batch N]\n"
-        "          [--shards N] [--lock rw|spin]\n",
+        "          [--shards N] [--lock rw|spin]\n"
+        "          [--recovery full|lazy]\n",
         argv0);
     std::exit(2);
+}
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
 }
 
 }  // namespace
@@ -115,8 +135,20 @@ main(int argc, char** argv)
             opt.shards = std::strtoul(val().c_str(), nullptr, 10);
         else if (a == "--lock")
             opt.lock = val();
+        else if (a == "--recovery")
+            opt.recovery = val();
         else
             usage(argv[0]);
+    }
+
+    txn::RecoveryMode recMode = txn::recoveryModeFromEnv();
+    if (opt.recovery == "full")
+        recMode = txn::RecoveryMode::full;
+    else if (opt.recovery == "lazy")
+        recMode = txn::RecoveryMode::lazy;
+    else if (!opt.recovery.empty()) {
+        std::fprintf(stderr, "bad --recovery (want full|lazy)\n");
+        return 2;
     }
 
     txn::RuntimeKind kind;
@@ -127,6 +159,7 @@ main(int argc, char** argv)
         return 2;
     }
 
+    auto t0 = std::chrono::steady_clock::now();
     std::unique_ptr<nvm::Pool> pool;
     bool fresh = !fileExists(opt.pool);
     if (fresh) {
@@ -147,14 +180,21 @@ main(int argc, char** argv)
     }
     nvm::Pool::setCurrent(pool.get());
 
-    alloc::PmAllocator heap(*pool);
+    // Under lazy restart the allocator must not pay the full bitmap
+    // scan in its constructor — recovery arms the incremental rebuild.
+    bool lazy = recMode == txn::RecoveryMode::lazy && !fresh;
+    alloc::PmAllocator heap(*pool, /* deferRebuild */ lazy);
     auto runtime = rt::makeRuntime(kind, *pool, heap);
     txn::Engine eng(*runtime);
 
     if (!fresh) {
-        auto report = eng.recover();
-        std::printf("RECOVERY applied=%llu dropped=%llu salvage=%llu "
-                    "clean=%d\n",
+        auto report = eng.recover(recMode, /* backgroundHealer */ true);
+        std::printf("RECOVERY mode=%s pending=%llu took_ms=%.2f "
+                    "applied=%llu dropped=%llu salvage=%llu clean=%d\n",
+                    txn::recoveryModeName(recMode),
+                    static_cast<unsigned long long>(
+                        eng.recoveryPending()),
+                    msSince(t0),
                     static_cast<unsigned long long>(
                         report.logEntriesApplied),
                     static_cast<unsigned long long>(
@@ -194,9 +234,9 @@ main(int argc, char** argv)
     tcp.start();
 
     std::printf("READY port=%u pid=%d workers=%u batch=%u "
-                "protocol=%s\n",
+                "protocol=%s ttfr_ms=%.2f\n",
                 unsigned(tcp.port()), int(::getpid()), opt.workers,
-                svc.batchMax(), opt.protocol.c_str());
+                svc.batchMax(), opt.protocol.c_str(), msSince(t0));
     std::fflush(stdout);
 
     if (!opt.portFile.empty()) {
@@ -211,11 +251,41 @@ main(int argc, char** argv)
 
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
-    while (g_stop == 0)
+    bool healReported = !eng.recoveryActive();
+    uint64_t lastHealed = ~0ULL;
+    while (g_stop == 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (healReported)
+            continue;
+        uint64_t healed = eng.recoveryHealed();
+        uint64_t pending = eng.recoveryPending();
+        if (pending == 0) {
+            std::printf("HEALED items=%llu took_ms=%.2f\n",
+                        static_cast<unsigned long long>(healed),
+                        msSince(t0));
+            std::fflush(stdout);
+            healReported = true;
+        } else if (healed != lastHealed) {
+            std::printf("HEALING healed=%llu pending=%llu\n",
+                        static_cast<unsigned long long>(healed),
+                        static_cast<unsigned long long>(pending));
+            std::fflush(stdout);
+            lastHealed = healed;
+        }
+        if (eng.recoveryHealerDied()) {
+            // The background healer hit an exception; finish the job
+            // inline rather than serving with pending heals forever.
+            std::printf("HEALER-DIED draining inline\n");
+            std::fflush(stdout);
+            eng.drainRecovery();
+        }
+    }
 
     tcp.stop();
     svc.stop();
+    // Workers are joined: safe to settle any still-lazy recovery so a
+    // graceful shutdown always leaves a fully healed pool behind.
+    eng.finishRecovery();
     auto t = svc.totalStats();
     std::printf("STOPPED ops=%llu batches=%llu batched=%llu "
                 "singles=%llu overflows=%llu\n",

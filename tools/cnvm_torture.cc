@@ -22,6 +22,7 @@
  *   cnvm_torture [--protocol NAME|all] [--structure NAME|all]
  *                [--mode exhaustive|random|media|both] [--seed N]
  *                [--budget N] [--threads N] [--tear alllost|random]
+ *                [--recovery full|lazy]
  *                [--fault FLIPS:POISONS:TRANSIENTS] [--fault-seed N]
  *                [--fault-regions LIST] [--fault-recovery ROUNDS]
  *                [--index N] [--list-sites] [--report PATH]
@@ -30,7 +31,10 @@
  * --budget is a global operation budget divided evenly across the
  * selected matrix (0 = uncapped); the CI smoke tier uses a small
  * budget, the nightly tier runs uncapped. --fault also arms the random
- * mode's tears; --index replays exactly one media case.
+ * mode's tears; --index replays exactly one media case. --recovery
+ * lazy routes every post-crash recovery through the instant-restart
+ * path (triage + first-touch heals + settle) under the exact same
+ * shadow-oracle and allocator audits.
  */
 #include <cstdio>
 #include <cstring>
@@ -54,6 +58,7 @@ struct Options {
     uint64_t budget = 0;
     unsigned threads = 2;
     torture::Tear tear = torture::Tear::randomTear;
+    txn::RecoveryMode recovery = txn::RecoveryMode::full;
     torture::FaultSpec faults;  ///< armed by --fault*, or mode media
     uint64_t faultSeed = 0;     ///< 0 = use --seed
     uint64_t index = 0;         ///< media: replay exactly this index
@@ -71,6 +76,7 @@ usage(const char* argv0)
         "usage: %s [--protocol NAME|all] [--structure NAME|all]\n"
         "          [--mode exhaustive|random|media|both] [--seed N]\n"
         "          [--budget N] [--threads N] [--tear alllost|random]\n"
+        "          [--recovery full|lazy]\n"
         "          [--fault FLIPS:POISONS:TRANSIENTS] [--fault-seed N]\n"
         "          [--fault-regions LIST] [--fault-recovery ROUNDS]\n"
         "          [--index N] [--list-sites] [--report PATH]\n"
@@ -130,6 +136,14 @@ parse(int argc, char** argv)
                 o.tear = torture::Tear::allLost;
             else if (t == "random")
                 o.tear = torture::Tear::randomTear;
+            else
+                usage(argv[0]);
+        } else if (a == "--recovery") {
+            std::string r = value(i);
+            if (r == "full")
+                o.recovery = txn::RecoveryMode::full;
+            else if (r == "lazy")
+                o.recovery = txn::RecoveryMode::lazy;
             else
                 usage(argv[0]);
         } else if (a == "--list-sites") {
@@ -228,6 +242,7 @@ main(int argc, char** argv)
         fc.threads = o.threads;
         fc.tear = o.tear;
         fc.faults = o.faults;
+        fc.recovery = o.recovery;
         torture::CaseResult r = torture::runFuzzCase(
             protocols[0], structures[0], o.replay, fc);
         emit(sink, strprintf(
@@ -268,6 +283,7 @@ main(int argc, char** argv)
                     cfg.seed = o.faultSeed != 0 ? o.faultSeed : o.seed;
                     cfg.faults = o.faults;
                     cfg.faults.enabled = true;
+                    cfg.recovery = o.recovery;
                     cfg.budget = perShare;
                     if (o.index != 0) {
                         // Cases are independent (fresh rig per index),
@@ -285,6 +301,7 @@ main(int argc, char** argv)
                     cfg.tear = o.tear;
                     cfg.seed = o.seed;
                     cfg.budget = perShare;
+                    cfg.recovery = o.recovery;
                     torture::SweepResult r =
                         torture::exhaustiveSweep(kind, s, cfg);
                     emit(sink, r.summary(kind, s) + "\n");
@@ -296,6 +313,7 @@ main(int argc, char** argv)
                     fc.tear = o.tear;
                     fc.faults = o.faults;
                     fc.baseSeed = o.seed;
+                    fc.recovery = o.recovery;
                     if (perShare != 0)
                         fc.budget = perShare;
                     torture::FuzzOutcome r =
